@@ -1,0 +1,95 @@
+// Ablation (DESIGN.md §5.3): estimator feedback (the paper's choice) vs
+// true-execution feedback. The paper uses estimates "for the efficiency
+// issue"; this bench quantifies that trade-off — true execution gives the
+// exact metric but costs far more per episode.
+#include "bench/bench_common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader(StrFormat("Ablation: estimator vs true-execution feedback "
+                        "(TPC-H, N=%d, epochs=%d)", cfg.n, cfg.epochs));
+  Database db = BuildDataset("TPC-H", cfg.scale);
+
+  std::printf("%-14s %12s %14s %14s\n", "feedback", "accuracy%",
+              "train time(s)", "gen time(s)");
+  for (FeedbackSource fb :
+       {FeedbackSource::kEstimator, FeedbackSource::kTrueExecution}) {
+    LearnedSqlGenOptions opts = DefaultOptions(cfg, 13001);
+    opts.feedback = fb;
+    auto gen = LearnedSqlGen::Create(&db, opts);
+    LSG_CHECK(gen.ok());
+
+    EnvironmentOptions eo;
+    eo.profile = opts.profile;
+    SqlGenEnvironment probe(&db, &(*gen)->vocab(), &(*gen)->estimator(),
+                            &(*gen)->cost_model(),
+                            Constraint::Point(ConstraintMetric::kCardinality, 1),
+                            eo);
+    Rng rng(7);
+    MetricDomain dom = ProbeMetricDomain(&probe, 200, &rng, 0.2, 0.95);
+    Constraint c = PaperRangeGrid(ConstraintMetric::kCardinality, dom)[1];
+
+    LSG_CHECK_OK((*gen)->Train(c));
+    auto rep = (*gen)->GenerateBatch(cfg.n);
+    LSG_CHECK(rep.ok());
+    std::printf("%-14s %12.2f %14.2f %14.2f\n",
+                fb == FeedbackSource::kEstimator ? "estimator" : "true-exec",
+                100 * rep->accuracy, (*gen)->last_train_seconds(),
+                rep->generate_seconds);
+    std::fflush(stdout);
+  }
+  std::printf("note: the paper picks estimator feedback for efficiency at "
+              "33GB scale; at laptop scale true execution is affordable and "
+              "can even win on accuracy (it removes estimator bias from the "
+              "reward). Compare the train-time column for the paper's "
+              "rationale.\n");
+
+  // Second ablation: dense partial-query rewards vs sparse end-only reward
+  // (§4.2 Remark).
+  std::printf("\nAblation: dense partial rewards vs sparse end-only reward\n");
+  std::printf("%-14s %12s %16s\n", "rewards", "accuracy%", "late reward");
+  for (bool dense : {true, false}) {
+    LearnedSqlGenOptions opts = DefaultOptions(cfg, 13002);
+    opts.dense_partial_rewards = dense;
+    auto gen = LearnedSqlGen::Create(&db, opts);
+    LSG_CHECK(gen.ok());
+    EnvironmentOptions eo;
+    eo.profile = opts.profile;
+    SqlGenEnvironment probe(&db, &(*gen)->vocab(), &(*gen)->estimator(),
+                            &(*gen)->cost_model(),
+                            Constraint::Point(ConstraintMetric::kCardinality, 1),
+                            eo);
+    Rng rng(9);
+    MetricDomain dom = ProbeMetricDomain(&probe, 200, &rng, 0.2, 0.95);
+    Constraint c = PaperRangeGrid(ConstraintMetric::kCardinality, dom)[1];
+    LSG_CHECK_OK((*gen)->Train(c));
+    auto rep = (*gen)->GenerateBatch(cfg.n);
+    LSG_CHECK(rep.ok());
+    const auto& trace = (*gen)->trace();
+    double late = 0;
+    size_t tail = std::max<size_t>(1, trace.size() / 5);
+    for (size_t e = trace.size() - tail; e < trace.size(); ++e) {
+      late += trace[e].mean_final_reward;
+    }
+    std::printf("%-14s %12.2f %16.3f\n", dense ? "dense" : "sparse",
+                100 * rep->accuracy, late / tail);
+    std::fflush(stdout);
+  }
+  std::printf("note: with episodes capped at ~64 tokens and batch-normalized "
+              "advantages, the sparse variant can match or beat dense "
+              "shaping; the paper's dense-reward argument (§4.2) targets "
+              "longer unnormalized episodes.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  lsg::bench::Run();
+  return 0;
+}

@@ -1,0 +1,188 @@
+#ifndef LEARNEDSQLGEN_BENCH_BENCH_COMMON_H_
+#define LEARNEDSQLGEN_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/random_generator.h"
+#include "baselines/template_generator.h"
+#include "common/stopwatch.h"
+#include "core/generator.h"
+#include "datasets/benchmark_templates.h"
+#include "datasets/job_like.h"
+#include "datasets/tpch_like.h"
+#include "datasets/xuetang_like.h"
+
+namespace lsg {
+namespace bench {
+
+/// Experiment scale knobs, overridable from the environment so full and
+/// quick runs share one binary:
+///   LSG_N       queries per setting            (default 120)
+///   LSG_EPOCHS  training epochs per constraint (default 250)
+///   LSG_SCALE   dataset scale factor           (default 1.0)
+///   LSG_QUICK   =1 shrinks everything ~4x for smoke runs
+struct BenchConfig {
+  int n = 120;
+  int epochs = 250;
+  double scale = 1.0;
+
+  static BenchConfig FromEnv() {
+    BenchConfig c;
+    if (const char* v = std::getenv("LSG_N")) c.n = std::atoi(v);
+    if (const char* v = std::getenv("LSG_EPOCHS")) c.epochs = std::atoi(v);
+    if (const char* v = std::getenv("LSG_SCALE")) c.scale = std::atof(v);
+    if (const char* v = std::getenv("LSG_QUICK"); v != nullptr && v[0] == '1') {
+      c.n /= 4;
+      c.epochs /= 4;
+      if (c.n < 10) c.n = 10;
+      if (c.epochs < 10) c.epochs = 10;
+    }
+    return c;
+  }
+};
+
+/// The paper's three benchmarks.
+inline std::vector<std::string> DatasetNames() {
+  return {"TPC-H", "JOB", "XueTang"};
+}
+
+inline Database BuildDataset(const std::string& name, double scale) {
+  DatasetScale s;
+  s.factor = scale;
+  if (name == "TPC-H") return BuildTpchLike(s);
+  if (name == "JOB") return BuildJobLike(s);
+  return BuildXuetangLike(s);
+}
+
+/// One ready-to-use experiment context: database + pipeline facade.
+struct DatasetContext {
+  std::string name;
+  Database db;
+  std::unique_ptr<LearnedSqlGen> gen;
+  MetricDomain card_domain;
+  MetricDomain cost_domain;
+};
+
+inline LearnedSqlGenOptions DefaultOptions(const BenchConfig& cfg,
+                                           uint64_t seed = 20220612) {
+  LearnedSqlGenOptions opts;
+  opts.train_epochs = cfg.epochs;
+  opts.trainer.batch_size = 16;
+  opts.seed = seed;
+  return opts;
+}
+
+/// Builds a dataset context and probes the reachable metric domains used to
+/// place the paper's constraint grids on scaled data.
+inline DatasetContext MakeContext(const std::string& name,
+                                  const BenchConfig& cfg,
+                                  LearnedSqlGenOptions opts) {
+  DatasetContext ctx;
+  ctx.name = name;
+  ctx.db = BuildDataset(name, cfg.scale);
+  auto gen = LearnedSqlGen::Create(&ctx.db, opts);
+  LSG_CHECK(gen.ok()) << gen.status().ToString();
+  ctx.gen = std::move(gen).value();
+
+  EnvironmentOptions eo;
+  eo.profile = opts.profile;
+  Rng rng(7);
+  {
+    SqlGenEnvironment probe(&ctx.db, &ctx.gen->vocab(), &ctx.gen->estimator(),
+                            &ctx.gen->cost_model(),
+                            Constraint::Point(ConstraintMetric::kCardinality, 1),
+                            eo);
+    ctx.card_domain = ProbeMetricDomain(&probe, 400, &rng, 0.2, 0.95);
+  }
+  {
+    SqlGenEnvironment probe(&ctx.db, &ctx.gen->vocab(), &ctx.gen->estimator(),
+                            &ctx.gen->cost_model(),
+                            Constraint::Point(ConstraintMetric::kCost, 1), eo);
+    ctx.cost_domain = ProbeMetricDomain(&probe, 400, &rng, 0.2, 0.95);
+  }
+  return ctx;
+}
+
+/// The paper's point grid: 4 geometric points across the reachable domain
+/// (its 10², 10⁴, 10⁶, 10⁸ rescaled). The low end is floored at 5 — point
+/// targets below that collapse into the empty/singleton-result noise.
+inline std::vector<Constraint> PaperPointGrid(ConstraintMetric metric,
+                                              const MetricDomain& domain) {
+  MetricDomain d = domain;
+  d.lo = std::max(5.0, d.lo);
+  if (d.hi < d.lo * 2) d.hi = d.lo * 2;
+  return PointGrid(metric, d, 4);
+}
+
+/// The paper's widening ranges ([1k,2k] .. [1k,8k] rescaled): the paper
+/// anchors its ranges mid-scale (1k on databases whose results reach many
+/// millions), so the base sits near the domain's geometric mean, clamped
+/// so [base, 8·base] stays reachable.
+inline std::vector<Constraint> PaperRangeGrid(ConstraintMetric metric,
+                                              const MetricDomain& domain) {
+  double base = std::sqrt(std::max(1.0, domain.lo) * domain.hi) / 2.0;
+  base = std::max(base, 5.0);
+  if (base * 8.0 > domain.hi) base = std::max(1.0, domain.hi / 8.0);
+  return WideningRanges(metric, base);
+}
+
+/// A fresh environment for baselines under constraint `c`.
+inline std::unique_ptr<SqlGenEnvironment> MakeEnv(DatasetContext* ctx,
+                                                  const Constraint& c,
+                                                  QueryProfile profile) {
+  EnvironmentOptions eo;
+  eo.profile = profile;
+  return std::make_unique<SqlGenEnvironment>(
+      &ctx->db, &ctx->gen->vocab(), &ctx->gen->estimator(),
+      &ctx->gen->cost_model(), c, eo);
+}
+
+// ------------------------------------------------------ result printing
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+struct ResultRow {
+  std::string dataset;
+  std::string setting;
+  double sqlsmith = 0;
+  double tmpl = 0;
+  double learned = 0;
+};
+
+/// Prints the paper's three-series table plus the shape verdict (who wins
+/// and by what factor).
+inline void PrintSeries(const std::string& metric_name,
+                        const std::vector<ResultRow>& rows,
+                        bool lower_is_better) {
+  std::printf("%-9s %-22s %12s %12s %14s %9s\n", "dataset", "setting",
+              "SQLSmith", "Template", "LearnedSQLGen", "winner");
+  int learned_wins = 0;
+  for (const ResultRow& r : rows) {
+    const char* winner = "Learned";
+    bool lw = lower_is_better
+                  ? (r.learned <= r.sqlsmith && r.learned <= r.tmpl)
+                  : (r.learned >= r.sqlsmith && r.learned >= r.tmpl);
+    if (!lw) {
+      winner = lower_is_better ? (r.sqlsmith < r.tmpl ? "SQLSmith" : "Template")
+                               : (r.sqlsmith > r.tmpl ? "SQLSmith" : "Template");
+    } else {
+      ++learned_wins;
+    }
+    std::printf("%-9s %-22s %12.4g %12.4g %14.4g %9s\n", r.dataset.c_str(),
+                r.setting.c_str(), r.sqlsmith, r.tmpl, r.learned, winner);
+  }
+  std::printf("shape check [%s]: LearnedSQLGen wins %d / %zu settings\n",
+              metric_name.c_str(), learned_wins, rows.size());
+}
+
+}  // namespace bench
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,9 @@
+// Reproduces Figure 4: accuracy of SQLSmith / Template / LearnedSQLGen for
+// point and range cardinality constraints on TPC-H / JOB / XueTang.
+#include "bench/figure_accuracy.h"
+
+int main() {
+  lsg::bench::RunAccuracyFigure(lsg::ConstraintMetric::kCardinality,
+                                "Figure 4");
+  return 0;
+}

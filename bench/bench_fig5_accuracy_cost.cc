@@ -1,0 +1,8 @@
+// Reproduces Figure 5: accuracy of SQLSmith / Template / LearnedSQLGen for
+// point and range cost constraints on TPC-H / JOB / XueTang.
+#include "bench/figure_accuracy.h"
+
+int main() {
+  lsg::bench::RunAccuracyFigure(lsg::ConstraintMetric::kCost, "Figure 5");
+  return 0;
+}

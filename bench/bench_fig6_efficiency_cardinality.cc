@@ -1,0 +1,9 @@
+// Reproduces Figure 6: time to generate N satisfying queries under
+// cardinality constraints (training + inference for LearnedSQLGen).
+#include "bench/figure_accuracy.h"
+
+int main() {
+  lsg::bench::RunEfficiencyFigure(lsg::ConstraintMetric::kCardinality,
+                                  "Figure 6");
+  return 0;
+}

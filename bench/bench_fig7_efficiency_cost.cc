@@ -1,0 +1,8 @@
+// Reproduces Figure 7: time to generate N satisfying queries under cost
+// constraints (training + inference for LearnedSQLGen).
+#include "bench/figure_accuracy.h"
+
+int main() {
+  lsg::bench::RunEfficiencyFigure(lsg::ConstraintMetric::kCost, "Figure 7");
+  return 0;
+}

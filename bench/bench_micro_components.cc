@@ -1,0 +1,194 @@
+// Google-benchmark micro-benchmarks for the core components: FSM masking,
+// random-walk episodes, executor operators, estimator, cost model, LSTM
+// forward/backward, and vocabulary construction.
+#include <benchmark/benchmark.h>
+
+#include "core/workload.h"
+#include "datasets/tpch_like.h"
+#include "exec/executor.h"
+#include "nn/lstm.h"
+#include "optimizer/cost_model.h"
+#include "rl/policy_network.h"
+
+namespace lsg {
+namespace {
+
+struct MicroFixture {
+  MicroFixture() : db(BuildTpchLike()) {
+    stats = DatabaseStats::Collect(db);
+    est = std::make_unique<CardinalityEstimator>(&db, &stats);
+    cost = std::make_unique<CostModel>(est.get());
+    VocabularyOptions vo;
+    auto v = Vocabulary::Build(db, vo);
+    LSG_CHECK(v.ok());
+    vocab.emplace(std::move(v).value());
+  }
+  Database db;
+  DatabaseStats stats;
+  std::unique_ptr<CardinalityEstimator> est;
+  std::unique_ptr<CostModel> cost;
+  std::optional<Vocabulary> vocab;
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture* f = new MicroFixture();
+  return *f;
+}
+
+void BM_FsmMaskComputation(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  GenerationFsm fsm(&f.db, &*f.vocab, QueryProfile());
+  // Advance into a WHERE clause where masking is at its most complex.
+  int lineitem = f.db.catalog().FindTable("lineitem");
+  LSG_CHECK_OK(fsm.Step(f.vocab->keyword_id(Keyword::kFrom)));
+  LSG_CHECK_OK(fsm.Step(f.vocab->table_token_id(lineitem)));
+  LSG_CHECK_OK(fsm.Step(f.vocab->keyword_id(Keyword::kSelect)));
+  LSG_CHECK_OK(fsm.Step(f.vocab->column_token_id(lineitem, 0)));
+  LSG_CHECK_OK(fsm.Step(f.vocab->keyword_id(Keyword::kWhere)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm.ValidActions());
+  }
+}
+BENCHMARK(BM_FsmMaskComputation);
+
+void BM_RandomWalkEpisode(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  GenerationFsm fsm(&f.db, &*f.vocab, QueryProfile());
+  Rng rng(1);
+  for (auto _ : state) {
+    auto q = RandomWalkQuery(&fsm, &rng);
+    LSG_CHECK(q.ok());
+    benchmark::DoNotOptimize(q->type);
+  }
+}
+BENCHMARK(BM_RandomWalkEpisode);
+
+void BM_ExecutorJoinFilter(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  Executor exec(&f.db);
+  SelectQuery q;
+  q.tables = {f.db.catalog().FindTable("lineitem"),
+              f.db.catalog().FindTable("orders")};
+  int li = q.tables[0];
+  q.items.push_back({AggFunc::kNone, {li, 0}});
+  Predicate p;
+  p.column = {li, 4};  // l_quantity
+  p.op = CompareOp::kLt;
+  p.value = Value(int64_t{25});
+  q.where.predicates.push_back(std::move(p));
+  for (auto _ : state) {
+    auto r = exec.ExecuteSelect(q, false);
+    LSG_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->cardinality);
+  }
+}
+BENCHMARK(BM_ExecutorJoinFilter);
+
+void BM_ExecutorGroupBy(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  Executor exec(&f.db);
+  SelectQuery q;
+  int li = f.db.catalog().FindTable("lineitem");
+  q.tables = {li};
+  q.items.push_back({AggFunc::kNone, {li, 7}});  // l_returnflag
+  q.group_by.push_back({li, 7});
+  q.having = HavingClause{AggFunc::kSum, {li, 4}, CompareOp::kGt,
+                          Value(int64_t{100})};
+  for (auto _ : state) {
+    auto r = exec.ExecuteSelect(q, false);
+    LSG_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->cardinality);
+  }
+}
+BENCHMARK(BM_ExecutorGroupBy);
+
+void BM_CardinalityEstimate(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  SelectQuery q;
+  int li = f.db.catalog().FindTable("lineitem");
+  q.tables = {li, f.db.catalog().FindTable("orders")};
+  q.items.push_back({AggFunc::kNone, {li, 0}});
+  Predicate p;
+  p.column = {li, 4};
+  p.op = CompareOp::kLt;
+  p.value = Value(int64_t{25});
+  q.where.predicates.push_back(std::move(p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.est->EstimateSelect(q, nullptr));
+  }
+}
+BENCHMARK(BM_CardinalityEstimate);
+
+void BM_CostEstimate(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  SelectQuery q;
+  int li = f.db.catalog().FindTable("lineitem");
+  q.tables = {li};
+  q.items.push_back({AggFunc::kMax, {li, 5}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.cost->SelectCost(q));
+  }
+}
+BENCHMARK(BM_CostEstimate);
+
+void BM_LstmStepOneHot(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  Rng rng(3);
+  LstmStack lstm(f.vocab->size() + 1, 30, 2, 0.f, &rng);
+  LstmStack::State st = lstm.InitialState();
+  int token = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lstm.Step(token % f.vocab->size(), &st, nullptr, false, &rng));
+    ++token;
+  }
+}
+BENCHMARK(BM_LstmStepOneHot);
+
+void BM_PolicyEpisodeWithBackward(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  NetworkOptions no;
+  PolicyNetwork net(f.vocab->size(), no);
+  Rng rng(5);
+  GenerationFsm fsm(&f.db, &*f.vocab, QueryProfile());
+  for (auto _ : state) {
+    fsm.Reset();
+    auto ep = net.BeginEpisode(true);
+    std::vector<double> adv;
+    while (!fsm.done()) {
+      const auto& probs = net.NextDistribution(&ep, fsm.ValidActions());
+      int a = net.SampleAction(probs, &rng);
+      net.RecordAction(&ep, a);
+      LSG_CHECK_OK(fsm.Step(a));
+      adv.push_back(0.1);
+    }
+    (void)fsm.TakeAst();
+    net.AccumulateGradients(ep, adv, 0.01);
+    benchmark::DoNotOptimize(ep.actions.size());
+  }
+}
+BENCHMARK(BM_PolicyEpisodeWithBackward);
+
+void BM_VocabularyBuild(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  VocabularyOptions vo;
+  for (auto _ : state) {
+    auto v = Vocabulary::Build(f.db, vo);
+    LSG_CHECK(v.ok());
+    benchmark::DoNotOptimize(v->size());
+  }
+}
+BENCHMARK(BM_VocabularyBuild);
+
+void BM_StatsCollect(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DatabaseStats::Collect(f.db));
+  }
+}
+BENCHMARK(BM_StatsCollect);
+
+}  // namespace
+}  // namespace lsg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+#ifndef LEARNEDSQLGEN_BENCH_FIGURE_ACCURACY_H_
+#define LEARNEDSQLGEN_BENCH_FIGURE_ACCURACY_H_
+
+#include "bench/bench_common.h"
+
+namespace lsg {
+namespace bench {
+
+/// Figures 4 & 5: generation accuracy of SQLSmith / Template /
+/// LearnedSQLGen across point and range constraints on three datasets
+/// (N queries per setting; accuracy = satisfied fraction).
+inline void RunAccuracyFigure(ConstraintMetric metric, const char* figure) {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader(StrFormat("%s: accuracy, %s constraints (N=%d, epochs=%d)",
+                        figure,
+                        metric == ConstraintMetric::kCardinality ? "cardinality"
+                                                                 : "cost",
+                        cfg.n, cfg.epochs));
+  std::vector<ResultRow> point_rows, range_rows;
+  for (const std::string& ds : DatasetNames()) {
+    LearnedSqlGenOptions opts = DefaultOptions(cfg);
+    DatasetContext ctx = MakeContext(ds, cfg, opts);
+    const MetricDomain& dom = metric == ConstraintMetric::kCardinality
+                                  ? ctx.card_domain
+                                  : ctx.cost_domain;
+    std::printf("[%s] domain [%s, %s]\n", ds.c_str(),
+                HumanCount(dom.lo).c_str(), HumanCount(dom.hi).c_str());
+
+    auto run_setting = [&](const Constraint& c, std::vector<ResultRow>* out) {
+      ResultRow row;
+      row.dataset = ds;
+      row.setting = c.ToString();
+
+      auto renv = MakeEnv(&ctx, c, opts.profile);
+      RandomGenerator rnd(renv.get(), 11);
+      auto r = rnd.GenerateBatch(cfg.n);
+      LSG_CHECK(r.ok()) << r.status().ToString();
+      row.sqlsmith = 100.0 * r->accuracy;
+
+      auto tenv = MakeEnv(&ctx, c, opts.profile);
+      TemplateGeneratorOptions topts;
+      topts.seed_templates = TemplatesForDataset(ds);
+      TemplateGenerator tgen(tenv.get(), topts);
+      auto t = tgen.GenerateBatch(cfg.n);
+      LSG_CHECK(t.ok()) << t.status().ToString();
+      row.tmpl = 100.0 * t->accuracy;
+
+      LSG_CHECK_OK(ctx.gen->Train(c));
+      auto l = ctx.gen->GenerateBatch(cfg.n);
+      LSG_CHECK(l.ok()) << l.status().ToString();
+      row.learned = 100.0 * l->accuracy;
+
+      std::printf("  %-22s smith=%6.2f%% tmpl=%6.2f%% learned=%6.2f%%\n",
+                  row.setting.c_str(), row.sqlsmith, row.tmpl, row.learned);
+      std::fflush(stdout);
+      out->push_back(row);
+    };
+
+    for (const Constraint& c : PaperPointGrid(metric, dom)) {
+      run_setting(c, &point_rows);
+    }
+    for (const Constraint& c : PaperRangeGrid(metric, dom)) {
+      run_setting(c, &range_rows);
+    }
+  }
+  std::printf("\n-- point constraints (accuracy %%; paper: Learned ~30%% "
+              "above baselines) --\n");
+  PrintSeries("accuracy/point", point_rows, /*lower_is_better=*/false);
+  std::printf("\n-- range constraints (accuracy %%) --\n");
+  PrintSeries("accuracy/range", range_rows, /*lower_is_better=*/false);
+}
+
+/// Figures 6 & 7: time to produce N satisfying queries (training +
+/// inference for LearnedSQLGen). When a method exhausts its attempt budget
+/// before reaching N, its time is linearly extrapolated (marked '~').
+inline void RunEfficiencyFigure(ConstraintMetric metric, const char* figure) {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader(StrFormat("%s: generation time, %s constraints (N=%d)", figure,
+                        metric == ConstraintMetric::kCardinality ? "cardinality"
+                                                                 : "cost",
+                        cfg.n));
+  std::vector<ResultRow> point_rows, range_rows;
+
+  auto timed = [&](GenerationReport rep, int target) {
+    double t = rep.total_seconds();
+    if (rep.satisfied == 0) return t * target;  // hopeless: 1 never arrived
+    if (rep.satisfied < target) {
+      t = t * static_cast<double>(target) / rep.satisfied;
+    }
+    return t;
+  };
+
+  for (const std::string& ds : DatasetNames()) {
+    LearnedSqlGenOptions opts = DefaultOptions(cfg);
+    DatasetContext ctx = MakeContext(ds, cfg, opts);
+    const MetricDomain& dom = metric == ConstraintMetric::kCardinality
+                                  ? ctx.card_domain
+                                  : ctx.cost_domain;
+
+    auto run_setting = [&](const Constraint& c, std::vector<ResultRow>* out) {
+      ResultRow row;
+      row.dataset = ds;
+      row.setting = c.ToString();
+
+      auto renv = MakeEnv(&ctx, c, opts.profile);
+      RandomGenerator rnd(renv.get(), 13);
+      auto r = rnd.GenerateSatisfied(cfg.n, /*max_attempts=*/12000);
+      LSG_CHECK(r.ok());
+      row.sqlsmith = timed(std::move(r).value(), cfg.n);
+
+      auto tenv = MakeEnv(&ctx, c, opts.profile);
+      TemplateGeneratorOptions topts;
+      topts.seed_templates = TemplatesForDataset(ds);
+      TemplateGenerator tgen(tenv.get(), topts);
+      auto t = tgen.GenerateSatisfied(cfg.n, /*max_attempts=*/60000);
+      LSG_CHECK(t.ok());
+      row.tmpl = timed(std::move(t).value(), cfg.n);
+
+      LSG_CHECK_OK(ctx.gen->Train(c));
+      auto l = ctx.gen->GenerateSatisfied(cfg.n);
+      LSG_CHECK(l.ok());
+      row.learned = timed(std::move(l).value(), cfg.n);
+
+      std::printf("  %-22s smith=%8.2fs tmpl=%8.2fs learned=%8.2fs\n",
+                  row.setting.c_str(), row.sqlsmith, row.tmpl, row.learned);
+      std::fflush(stdout);
+      out->push_back(row);
+    };
+
+    for (const Constraint& c : PaperPointGrid(metric, dom)) {
+      run_setting(c, &point_rows);
+    }
+    for (const Constraint& c : PaperRangeGrid(metric, dom)) {
+      run_setting(c, &range_rows);
+    }
+  }
+  std::printf("\n-- point constraints (seconds; paper: Learned 10-35x "
+              "faster) --\n");
+  PrintSeries("time/point", point_rows, /*lower_is_better=*/true);
+  std::printf("\n-- range constraints (seconds) --\n");
+  PrintSeries("time/range", range_rows, /*lower_is_better=*/true);
+}
+
+}  // namespace bench
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_BENCH_FIGURE_ACCURACY_H_

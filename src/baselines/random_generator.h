@@ -1,0 +1,35 @@
+#ifndef LEARNEDSQLGEN_BASELINES_RANDOM_GENERATOR_H_
+#define LEARNEDSQLGEN_BASELINES_RANDOM_GENERATOR_H_
+
+#include "core/generator.h"
+
+namespace lsg {
+
+/// SQLSmith-style baseline [47]: uniformly random grammar walks with no
+/// constraint feedback; generated queries are filtered against the
+/// constraint afterwards ("first randomly generate SQL queries ... then
+/// validate whether each generated SQL satisfies the constraint").
+class RandomGenerator {
+ public:
+  /// `env` supplies the grammar (FSM), metric feedback and constraint; it
+  /// must outlive the generator.
+  RandomGenerator(SqlGenEnvironment* env, uint64_t seed);
+
+  /// Generates until n satisfying queries are found or max_attempts runs
+  /// out. Report contains only the satisfying queries.
+  StatusOr<GenerationReport> GenerateSatisfied(int n, int64_t max_attempts);
+
+  /// Generates exactly n queries; accuracy = satisfied fraction.
+  StatusOr<GenerationReport> GenerateBatch(int n);
+
+  /// One random episode through the environment.
+  StatusOr<Trajectory> Rollout();
+
+ private:
+  SqlGenEnvironment* env_;
+  Rng rng_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_BASELINES_RANDOM_GENERATOR_H_

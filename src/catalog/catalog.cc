@@ -1,0 +1,82 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace lsg {
+
+Status Catalog::AddTable(TableSchema schema) {
+  if (FindTable(schema.name()) >= 0) {
+    return Status::AlreadyExists("table " + schema.name() + " already exists");
+  }
+  tables_.push_back(std::move(schema));
+  return Status::Ok();
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  int from = FindTable(fk.from_table);
+  int to = FindTable(fk.to_table);
+  if (from < 0 || to < 0) {
+    return Status::NotFound("foreign key references unknown table: " +
+                            fk.from_table + " -> " + fk.to_table);
+  }
+  int from_col = tables_[from].FindColumn(fk.from_column);
+  int to_col = tables_[to].FindColumn(fk.to_column);
+  if (from_col < 0 || to_col < 0) {
+    return Status::NotFound("foreign key references unknown column: " +
+                            fk.from_table + "." + fk.from_column + " -> " +
+                            fk.to_table + "." + fk.to_column);
+  }
+  DataType a = tables_[from].column(from_col).type;
+  DataType b = tables_[to].column(to_col).type;
+  if (!AreComparable(a, b)) {
+    return Status::InvalidArgument(
+        "foreign key joins incomparable types: " + fk.from_table + "." +
+        fk.from_column + " -> " + fk.to_table + "." + fk.to_column);
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::Ok();
+}
+
+int Catalog::FindTable(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<ForeignKey> Catalog::JoinEdges(const std::string& a,
+                                           const std::string& b) const {
+  std::vector<ForeignKey> out;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if ((fk.from_table == a && fk.to_table == b) ||
+        (fk.from_table == b && fk.to_table == a)) {
+      out.push_back(fk);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::JoinableTables(
+    const std::string& table) const {
+  std::vector<std::string> out;
+  auto add_unique = [&out](const std::string& t) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  };
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.from_table == table) add_unique(fk.to_table);
+    if (fk.to_table == table) add_unique(fk.from_table);
+  }
+  return out;
+}
+
+bool Catalog::AreJoinable(const std::string& a, const std::string& b) const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    if ((fk.from_table == a && fk.to_table == b) ||
+        (fk.from_table == b && fk.to_table == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lsg

@@ -1,0 +1,52 @@
+#ifndef LEARNEDSQLGEN_CATALOG_CATALOG_H_
+#define LEARNEDSQLGEN_CATALOG_CATALOG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace lsg {
+
+/// Schema-level catalog: table schemas plus the PK-FK join graph.
+/// The data itself lives in storage::Table / Database.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table schema. Returns AlreadyExists on duplicate names.
+  Status AddTable(TableSchema schema);
+
+  /// Registers a PK-FK edge. Both endpoints must exist and be comparable.
+  Status AddForeignKey(ForeignKey fk);
+
+  size_t num_tables() const { return tables_.size(); }
+  const TableSchema& table(size_t i) const { return tables_[i]; }
+  const std::vector<TableSchema>& tables() const { return tables_; }
+
+  /// Index of the table with the given name, or -1.
+  int FindTable(const std::string& name) const;
+
+  /// All registered FK edges.
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Returns the FK edges connecting `a` and `b` in either direction.
+  std::vector<ForeignKey> JoinEdges(const std::string& a,
+                                    const std::string& b) const;
+
+  /// Tables joinable with `table` via at least one FK edge.
+  std::vector<std::string> JoinableTables(const std::string& table) const;
+
+  /// True if some FK edge connects the two tables (either direction).
+  bool AreJoinable(const std::string& a, const std::string& b) const;
+
+ private:
+  std::vector<TableSchema> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CATALOG_CATALOG_H_

@@ -1,0 +1,28 @@
+#include "catalog/data_type.h"
+
+namespace lsg {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kCategorical:
+      return "CATEGORICAL";
+  }
+  return "UNKNOWN";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+bool AreComparable(DataType a, DataType b) {
+  if (IsNumeric(a) && IsNumeric(b)) return true;
+  return a == b;
+}
+
+}  // namespace lsg

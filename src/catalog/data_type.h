@@ -1,0 +1,35 @@
+#ifndef LEARNEDSQLGEN_CATALOG_DATA_TYPE_H_
+#define LEARNEDSQLGEN_CATALOG_DATA_TYPE_H_
+
+#include <string>
+
+namespace lsg {
+
+/// Column data types supported by the engine. The paper distinguishes
+/// numerical, categorical and string data: numerical columns get value
+/// sampling (k values), categorical columns enumerate all distinct values,
+/// and string columns get sampled values with the restricted operator set
+/// {=, <, >}.
+enum class DataType {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  /// Low-cardinality string/int domain; all distinct values enter the
+  /// action space directly (paper §4.1, "Gender"-style attributes).
+  kCategorical = 3,
+};
+
+/// Human-readable type name ("INT64", "DOUBLE", "STRING", "CATEGORICAL").
+const char* DataTypeName(DataType type);
+
+/// True for types on which SUM/AVG/MIN/MAX aggregation and the full operator
+/// set {<, >, =, <=, >=} are allowed (paper §5 semantic checking).
+bool IsNumeric(DataType type);
+
+/// True if two columns of these types may be compared / joined
+/// (paper §5: "columns with different datatypes cannot be joined").
+bool AreComparable(DataType a, DataType b);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CATALOG_DATA_TYPE_H_

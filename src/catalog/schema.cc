@@ -1,0 +1,43 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace lsg {
+
+Status TableSchema::AddColumn(ColumnSchema column) {
+  if (FindColumn(column.name) >= 0) {
+    return Status::AlreadyExists("duplicate column " + column.name +
+                                 " in table " + name_);
+  }
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+int TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int TableSchema::PrimaryKeyColumn() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].is_primary_key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string TableSchema::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns_.size());
+  for (const ColumnSchema& c : columns_) {
+    std::string s = c.name;
+    s += " ";
+    s += DataTypeName(c.type);
+    if (c.is_primary_key) s += " PK";
+    cols.push_back(std::move(s));
+  }
+  return name_ + "(" + Join(cols, ", ") + ")";
+}
+
+}  // namespace lsg

@@ -1,0 +1,64 @@
+#ifndef LEARNEDSQLGEN_CATALOG_SCHEMA_H_
+#define LEARNEDSQLGEN_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/data_type.h"
+#include "common/status.h"
+
+namespace lsg {
+
+/// Schema of one column.
+struct ColumnSchema {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// True if this column is (part of) the table's primary key.
+  bool is_primary_key = false;
+  /// True if NULLs may appear.
+  bool nullable = false;
+};
+
+/// Schema of one table: a name plus an ordered list of columns.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a column. Returns AlreadyExists on duplicate names.
+  Status AddColumn(ColumnSchema column);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSchema& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSchema>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Index of the primary-key column, or -1 if none declared.
+  int PrimaryKeyColumn() const;
+
+  /// "name(col1 TYPE, col2 TYPE, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnSchema> columns_;
+};
+
+/// A primary-key/foreign-key edge between two tables. Per the paper's
+/// "Meaningful Checking" rule, two columns can be joined only if they have a
+/// PK-FK relation or a user-specified join relation; the FSM masks all other
+/// join attempts.
+struct ForeignKey {
+  std::string from_table;   ///< referencing (fact) table
+  std::string from_column;  ///< FK column
+  std::string to_table;     ///< referenced (dimension) table
+  std::string to_column;    ///< PK column
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CATALOG_SCHEMA_H_

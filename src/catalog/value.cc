@@ -1,0 +1,81 @@
+#include "catalog/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lsg {
+
+double Value::AsNumber() const {
+  if (is_int()) return static_cast<double>(as_int());
+  LSG_CHECK(is_double());
+  return as_double();
+}
+
+namespace {
+// Rank used only to give a total order across incompatible types.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(*this);
+  int rb = TypeRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (is_null()) return 0;  // both NULL
+  if (is_numeric()) {
+    // Compare exactly when both are ints, avoiding double rounding.
+    if (is_int() && other.is_int()) {
+      int64_t a = as_int();
+      int64_t b = other.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsNumber();
+    double b = other.AsNumber();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const std::string& a = as_string();
+  const std::string& b = other.as_string();
+  int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(as_int()));
+  if (is_double()) return FormatDouble(as_double());
+  // Escape single quotes by doubling, per SQL.
+  std::string out = "'";
+  for (char c : as_string()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(as_int()));
+  if (is_double()) return FormatDouble(as_double());
+  return as_string();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9E3779B9u;
+  if (is_int()) {
+    // Hash ints through their double image so that 1 and 1.0 collide
+    // (they compare equal).
+    double d = static_cast<double>(as_int());
+    return std::hash<double>{}(d);
+  }
+  if (is_double()) return std::hash<double>{}(as_double());
+  return std::hash<std::string>{}(as_string());
+}
+
+}  // namespace lsg

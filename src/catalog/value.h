@@ -1,0 +1,67 @@
+#ifndef LEARNEDSQLGEN_CATALOG_VALUE_H_
+#define LEARNEDSQLGEN_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "catalog/data_type.h"
+
+namespace lsg {
+
+/// A single cell value. NULL is represented by the monostate alternative.
+/// Categorical values are stored as strings.
+class Value {
+ public:
+  /// NULL value.
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view of the value: ints widen to double. Requires is_numeric().
+  double AsNumber() const;
+
+  /// Three-way comparison: negative / zero / positive like strcmp.
+  /// NULLs sort first; cross-type numeric comparisons widen to double;
+  /// comparing a number to a string compares type ranks (stable but
+  /// arbitrary) — the FSM prevents such comparisons from being generated.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Renders the value as a SQL literal (strings quoted and escaped).
+  std::string ToSqlLiteral() const;
+
+  /// Debug rendering (NULL shown as "NULL", strings unquoted).
+  std::string ToString() const;
+
+  /// Stable hash for hash joins / grouping.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// Hash functor for containers keyed on Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CATALOG_VALUE_H_

@@ -1,0 +1,78 @@
+#ifndef LEARNEDSQLGEN_COMMON_LOGGING_H_
+#define LEARNEDSQLGEN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lsg {
+
+/// Log severities in increasing order. The process-wide minimum severity is
+/// controlled with SetLogLevel(); messages below it are discarded.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the process-wide minimum severity that will be printed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. kFatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LSG_LOG(level)                                         \
+  if (::lsg::LogLevel::k##level < ::lsg::GetLogLevel()) {      \
+  } else                                                       \
+    ::lsg::internal::LogMessage(::lsg::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK-style invariants: always on, abort with a message on violation.
+#define LSG_CHECK(cond)                                                    \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::lsg::internal::LogMessage(::lsg::LogLevel::kFatal, __FILE__,         \
+                                __LINE__)                                  \
+        << "Check failed: " #cond " "
+
+#define LSG_CHECK_OK(expr)                                                \
+  do {                                                                    \
+    ::lsg::Status _st = (expr);                                           \
+    if (!_st.ok()) {                                                      \
+      ::lsg::internal::LogMessage(::lsg::LogLevel::kFatal, __FILE__,      \
+                                  __LINE__)                               \
+          << "Status not OK: " << _st.ToString();                         \
+    }                                                                     \
+  } while (0)
+
+#define LSG_DCHECK(cond) LSG_CHECK(cond)
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_COMMON_LOGGING_H_

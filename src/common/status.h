@@ -1,0 +1,119 @@
+#ifndef LEARNEDSQLGEN_COMMON_STATUS_H_
+#define LEARNEDSQLGEN_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lsg {
+
+/// Error codes used across the library. Library code never throws; all
+/// fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result, modeled after absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call sites
+  /// terse: `return value;` or `return Status::NotFound(...)`.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define LSG_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::lsg::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define LSG_STATUS_CONCAT_INNER_(a, b) a##b
+#define LSG_STATUS_CONCAT_(a, b) LSG_STATUS_CONCAT_INNER_(a, b)
+#define LSG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+#define LSG_ASSIGN_OR_RETURN(lhs, expr) \
+  LSG_ASSIGN_OR_RETURN_IMPL_(LSG_STATUS_CONCAT_(_status_or_, __LINE__), lhs, \
+                             expr)
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_COMMON_STATUS_H_

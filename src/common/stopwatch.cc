@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only; this translation unit exists so the build system has a
+// compiled artifact to attach the header's symbols to if ever needed.

@@ -1,0 +1,32 @@
+#ifndef LEARNEDSQLGEN_COMMON_STOPWATCH_H_
+#define LEARNEDSQLGEN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lsg {
+
+/// Simple wall-clock stopwatch for the generation-time experiments
+/// (Figures 6, 7, 8b, 9b, 11 report generation time).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_COMMON_STOPWATCH_H_

@@ -1,0 +1,40 @@
+#ifndef LEARNEDSQLGEN_COMMON_STRING_UTIL_H_
+#define LEARNEDSQLGEN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsg {
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single-character separator, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII.
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double compactly (no trailing zeros, max 6 significant digits).
+std::string FormatDouble(double v);
+
+/// Human-readable count, e.g. 1500 -> "1.5K", 2000000 -> "2M".
+std::string HumanCount(double v);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,55 @@
+#include "core/constraint.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+std::vector<double> GeometricGrid(double lo, double hi, int n) {
+  LSG_CHECK(lo > 0.0 && hi >= lo && n >= 1);
+  std::vector<double> out;
+  out.reserve(n);
+  if (n == 1) {
+    out.push_back(std::sqrt(lo * hi));
+    return out;
+  }
+  const double step = std::pow(hi / lo, 1.0 / static_cast<double>(n - 1));
+  double v = lo;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= step;
+  }
+  return out;
+}
+
+std::vector<Constraint> WideningRanges(ConstraintMetric metric, double base) {
+  std::vector<Constraint> out;
+  for (double mult : {2.0, 4.0, 6.0, 8.0}) {
+    out.push_back(Constraint::Range(metric, base, base * mult));
+  }
+  return out;
+}
+
+std::vector<Constraint> PointGrid(ConstraintMetric metric,
+                                  const MetricDomain& domain, int n) {
+  std::vector<Constraint> out;
+  for (double p : GeometricGrid(domain.lo, domain.hi, n)) {
+    out.push_back(Constraint::Point(metric, p));
+  }
+  return out;
+}
+
+std::vector<Constraint> SplitIntoTasks(ConstraintMetric metric,
+                                       const MetricDomain& domain, int k) {
+  LSG_CHECK(k >= 1);
+  std::vector<Constraint> out;
+  const double width = (domain.hi - domain.lo) / static_cast<double>(k);
+  for (int i = 0; i < k; ++i) {
+    out.push_back(Constraint::Range(metric, domain.lo + i * width,
+                                    domain.lo + (i + 1) * width));
+  }
+  return out;
+}
+
+}  // namespace lsg

@@ -1,0 +1,39 @@
+#ifndef LEARNEDSQLGEN_CORE_CONSTRAINT_H_
+#define LEARNEDSQLGEN_CORE_CONSTRAINT_H_
+
+#include <vector>
+
+#include "rl/reward.h"
+
+namespace lsg {
+
+/// Observed range of a metric (cardinality or cost) reachable on a
+/// database, estimated by random probing (see ProbeMetricDomain in
+/// core/workload.h). Benches rescale the paper's constraint grids
+/// (10²..10⁸ points; 1k-2k..1k-8k ranges) into this domain so the same
+/// experiment shapes run on laptop-scale data.
+struct MetricDomain {
+  double lo = 1.0;
+  double hi = 1e6;
+};
+
+/// n points spaced geometrically in [lo, hi] (the paper's 10², 10⁴, 10⁶,
+/// 10⁸ grid generalized to an arbitrary domain).
+std::vector<double> GeometricGrid(double lo, double hi, int n);
+
+/// The paper's widening range family anchored at `base`: [base, 2·base],
+/// [base, 4·base], [base, 6·base], [base, 8·base] (its 1k-2k .. 1k-8k).
+std::vector<Constraint> WideningRanges(ConstraintMetric metric, double base);
+
+/// Point constraints on a geometric grid across the domain.
+std::vector<Constraint> PointGrid(ConstraintMetric metric,
+                                  const MetricDomain& domain, int n);
+
+/// Splits [domain.lo, domain.hi] into k contiguous range tasks (the §6
+/// pre-training task split, e.g. [0,2K], [2K,4K], ...).
+std::vector<Constraint> SplitIntoTasks(ConstraintMetric metric,
+                                       const MetricDomain& domain, int k);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CORE_CONSTRAINT_H_

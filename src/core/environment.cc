@@ -1,0 +1,73 @@
+#include "core/environment.h"
+
+#include "common/logging.h"
+
+namespace lsg {
+
+SqlGenEnvironment::SqlGenEnvironment(const Database* db,
+                                     const Vocabulary* vocab,
+                                     const CardinalityEstimator* estimator,
+                                     const CostModel* cost_model,
+                                     Constraint constraint,
+                                     EnvironmentOptions options)
+    : db_(db),
+      vocab_(vocab),
+      estimator_(estimator),
+      cost_model_(cost_model),
+      reward_(constraint),
+      options_(options),
+      fsm_(db, vocab, options.profile),
+      executor_(db) {
+  LSG_CHECK(estimator != nullptr && cost_model != nullptr);
+}
+
+void SqlGenEnvironment::Reset() { fsm_.Reset(); }
+
+const std::vector<uint8_t>& SqlGenEnvironment::ValidActions() {
+  return fsm_.ValidActions();
+}
+
+double SqlGenEnvironment::MetricOf(const QueryAst& ast) const {
+  ++feedback_calls_;
+  if (options_.feedback == FeedbackSource::kTrueExecution) {
+    if (reward_.constraint().metric == ConstraintMetric::kCardinality) {
+      auto card = executor_.Cardinality(ast);
+      return card.ok() ? static_cast<double>(*card) : 0.0;
+    }
+    // True cost: run the query and price the measured operator work.
+    if (ast.type == QueryType::kSelect && ast.select != nullptr) {
+      auto r = executor_.ExecuteSelect(*ast.select, /*materialize=*/false);
+      if (!r.ok()) return 0.0;
+      return cost_model_->TrueCost(r->stats,
+                                   static_cast<double>(r->cardinality));
+    }
+    // DML true cost falls back to the estimate (dry-run writes are not
+    // priced by measurement).
+    return cost_model_->EstimateCost(ast);
+  }
+  if (reward_.constraint().metric == ConstraintMetric::kCardinality) {
+    return estimator_->EstimateCardinality(ast);
+  }
+  return cost_model_->EstimateCost(ast);
+}
+
+StatusOr<EnvStepResult> SqlGenEnvironment::Step(int action) {
+  LSG_RETURN_IF_ERROR(fsm_.Step(action));
+  EnvStepResult out;
+  out.done = fsm_.done();
+  out.executable = out.done || fsm_.IsExecutablePrefix();
+  if (!out.done && !options_.dense_partial_rewards) {
+    // Sparse-reward ablation: partial queries earn nothing.
+    return out;
+  }
+  if (out.executable) {
+    out.metric = MetricOf(fsm_.builder().ast());
+    out.reward = reward_.Reward(true, out.metric);
+    out.satisfied = reward_.constraint().Satisfied(out.metric);
+  } else {
+    out.reward = 0.0;
+  }
+  return out;
+}
+
+}  // namespace lsg

@@ -1,0 +1,74 @@
+#ifndef LEARNEDSQLGEN_CORE_ENVIRONMENT_H_
+#define LEARNEDSQLGEN_CORE_ENVIRONMENT_H_
+
+#include <cstdint>
+
+#include "exec/executor.h"
+#include "fsm/generation_fsm.h"
+#include "optimizer/cost_model.h"
+#include "rl/reward.h"
+#include "rl/trajectory.h"
+
+namespace lsg {
+
+/// How the environment computes the metric feedback.
+enum class FeedbackSource {
+  /// Optimizer estimates (the paper's choice: "we do not use the real
+  /// cardinality for the efficiency issue").
+  kEstimator = 0,
+  /// Actual execution against the database (feedback ablation).
+  kTrueExecution = 1,
+};
+
+struct EnvironmentOptions {
+  QueryProfile profile;
+  FeedbackSource feedback = FeedbackSource::kEstimator;
+
+  /// When false, only the completed query earns a reward (the sparse
+  /// signal the paper's §4.2 Remark argues against) — ablation knob.
+  bool dense_partial_rewards = true;
+};
+
+/// The paper's environment (Figure 1): wraps the FSM (action masking), the
+/// database's cost estimator (metric feedback) and the reward function.
+/// Partial executable prefixes receive shaped rewards (§4.2 Remark: "simply
+/// awarding the end reward ... results in a sparse training signal").
+class SqlGenEnvironment : public Environment {
+ public:
+  /// All pointers must outlive the environment.
+  SqlGenEnvironment(const Database* db, const Vocabulary* vocab,
+                    const CardinalityEstimator* estimator,
+                    const CostModel* cost_model, Constraint constraint,
+                    EnvironmentOptions options);
+
+  void Reset() override;
+  const std::vector<uint8_t>& ValidActions() override;
+  StatusOr<EnvStepResult> Step(int action) override;
+  QueryAst TakeAst() override { return fsm_.TakeAst(); }
+  int vocab_size() const override { return vocab_->size(); }
+
+  /// Estimated (or executed) metric of an AST under this constraint's
+  /// metric type. Returns 0 when execution fails (e.g. join blowup guard).
+  double MetricOf(const QueryAst& ast) const;
+
+  const Constraint& constraint() const { return reward_.constraint(); }
+  const GenerationFsm& fsm() const { return fsm_; }
+
+  /// Number of feedback evaluations so far (efficiency accounting).
+  int64_t feedback_calls() const { return feedback_calls_; }
+
+ private:
+  const Database* db_;
+  const Vocabulary* vocab_;
+  const CardinalityEstimator* estimator_;
+  const CostModel* cost_model_;
+  RewardFunction reward_;
+  EnvironmentOptions options_;
+  GenerationFsm fsm_;
+  Executor executor_;
+  mutable int64_t feedback_calls_ = 0;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CORE_ENVIRONMENT_H_

@@ -1,0 +1,156 @@
+#include "core/generator.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/serialize.h"
+#include "sql/render.h"
+
+namespace lsg {
+
+LearnedSqlGen::LearnedSqlGen(const Database* db,
+                             const LearnedSqlGenOptions& options)
+    : db_(db), options_(options) {}
+
+StatusOr<std::unique_ptr<LearnedSqlGen>> LearnedSqlGen::Create(
+    const Database* db, const LearnedSqlGenOptions& options) {
+  if (db == nullptr || db->num_tables() == 0) {
+    return Status::InvalidArgument("LearnedSqlGen needs a non-empty database");
+  }
+  std::unique_ptr<LearnedSqlGen> gen(new LearnedSqlGen(db, options));
+  gen->stats_ = DatabaseStats::Collect(*db);
+  auto vocab = Vocabulary::Build(*db, options.vocab);
+  if (!vocab.ok()) return vocab.status();
+  gen->vocab_ = std::move(vocab).value();
+  gen->estimator_ =
+      std::make_unique<CardinalityEstimator>(db, &gen->stats_);
+  gen->cost_model_ = std::make_unique<CostModel>(gen->estimator_.get());
+  return gen;
+}
+
+Status LearnedSqlGen::Train(const Constraint& constraint) {
+  return TrainFor(constraint, options_.train_epochs);
+}
+
+Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
+  EnvironmentOptions env_opts;
+  env_opts.profile = options_.profile;
+  env_opts.feedback = options_.feedback;
+  env_opts.dense_partial_rewards = options_.dense_partial_rewards;
+  env_ = std::make_unique<SqlGenEnvironment>(db_, &*vocab_, estimator_.get(),
+                                             cost_model_.get(), constraint,
+                                             env_opts);
+  ac_trainer_.reset();
+  reinforce_trainer_.reset();
+  trace_.clear();
+  Stopwatch watch;
+  if (options_.use_reinforce) {
+    reinforce_trainer_ =
+        std::make_unique<ReinforceTrainer>(env_.get(), options_.trainer);
+    for (int e = 0; e < epochs; ++e) {
+      auto st = reinforce_trainer_->TrainEpoch();
+      if (!st.ok()) return st.status();
+      trace_.push_back(*st);
+    }
+  } else {
+    ac_trainer_ =
+        std::make_unique<ActorCriticTrainer>(env_.get(), options_.trainer);
+    for (int e = 0; e < epochs; ++e) {
+      auto st = ac_trainer_->TrainEpoch();
+      if (!st.ok()) return st.status();
+      trace_.push_back(*st);
+    }
+  }
+  // Inference uses the best checkpoint seen during training (guards
+  // against late-training policy collapse).
+  if (options_.trainer.keep_best_actor) {
+    if (ac_trainer_ != nullptr) ac_trainer_->RestoreBestActor();
+    if (reinforce_trainer_ != nullptr) reinforce_trainer_->RestoreBestActor();
+  }
+  train_seconds_ = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status LearnedSqlGen::SaveModel(const std::string& path) {
+  if (ac_trainer_ != nullptr) {
+    return SaveParams(ac_trainer_->actor().Params(), path);
+  }
+  if (reinforce_trainer_ != nullptr) {
+    return SaveParams(reinforce_trainer_->actor().Params(), path);
+  }
+  return Status::FailedPrecondition("no trained model to save");
+}
+
+Status LearnedSqlGen::LoadModel(const Constraint& constraint,
+                                const std::string& path) {
+  // Build the trainer (0 epochs = no training) and overwrite its actor.
+  LSG_RETURN_IF_ERROR(TrainFor(constraint, 0));
+  if (ac_trainer_ != nullptr) {
+    return LoadParams(ac_trainer_->actor().Params(), path);
+  }
+  return LoadParams(reinforce_trainer_->actor().Params(), path);
+}
+
+StatusOr<Trajectory> LearnedSqlGen::GenerateOne() {
+  if (ac_trainer_ != nullptr) return ac_trainer_->Generate();
+  if (reinforce_trainer_ != nullptr) return reinforce_trainer_->Generate();
+  return Status::FailedPrecondition("call Train before generating");
+}
+
+StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n) {
+  GenerationReport report;
+  report.train_seconds = train_seconds_;
+  report.trace = trace_;
+  Stopwatch watch;
+  const int64_t max_attempts =
+      static_cast<int64_t>(n) * options_.attempts_factor;
+  while (report.satisfied < n && report.attempts < max_attempts) {
+    auto traj = GenerateOne();
+    if (!traj.ok()) return traj.status();
+    ++report.attempts;
+    if (!traj->satisfied) continue;
+    ++report.satisfied;
+    GeneratedQuery q;
+    q.sql = RenderSql(traj->ast, db_->catalog());
+    q.metric = traj->final_metric;
+    q.satisfied = true;
+    q.features =
+        FeaturesOf(traj->ast, static_cast<int>(traj->actions.size()));
+    q.ast = std::move(traj->ast);
+    report.queries.push_back(std::move(q));
+  }
+  report.generate_seconds = watch.ElapsedSeconds();
+  report.accuracy = report.attempts == 0
+                        ? 0.0
+                        : static_cast<double>(report.satisfied) /
+                              static_cast<double>(report.attempts);
+  return report;
+}
+
+StatusOr<GenerationReport> LearnedSqlGen::GenerateBatch(int n) {
+  GenerationReport report;
+  report.train_seconds = train_seconds_;
+  report.trace = trace_;
+  Stopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    auto traj = GenerateOne();
+    if (!traj.ok()) return traj.status();
+    ++report.attempts;
+    GeneratedQuery q;
+    q.sql = RenderSql(traj->ast, db_->catalog());
+    q.metric = traj->final_metric;
+    q.satisfied = traj->satisfied;
+    q.features =
+        FeaturesOf(traj->ast, static_cast<int>(traj->actions.size()));
+    q.ast = std::move(traj->ast);
+    if (q.satisfied) ++report.satisfied;
+    report.queries.push_back(std::move(q));
+  }
+  report.generate_seconds = watch.ElapsedSeconds();
+  report.accuracy = report.attempts == 0
+                        ? 0.0
+                        : static_cast<double>(report.satisfied) /
+                              static_cast<double>(report.attempts);
+  return report;
+}
+
+}  // namespace lsg

@@ -1,0 +1,121 @@
+#ifndef LEARNEDSQLGEN_CORE_GENERATOR_H_
+#define LEARNEDSQLGEN_CORE_GENERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/workload.h"
+#include "rl/actor_critic_trainer.h"
+#include "rl/reinforce_trainer.h"
+
+namespace lsg {
+
+/// End-to-end configuration of the LearnedSQLGen pipeline.
+struct LearnedSqlGenOptions {
+  TrainerOptions trainer;
+  QueryProfile profile;
+  VocabularyOptions vocab;
+  FeedbackSource feedback = FeedbackSource::kEstimator;
+
+  /// Training epochs (batched updates) per constraint.
+  int train_epochs = 80;
+
+  /// Inference attempt budget per requested satisfied query.
+  int attempts_factor = 50;
+
+  /// Use plain REINFORCE instead of actor-critic (the §7.3 comparison).
+  bool use_reinforce = false;
+
+  /// Reward-shaping ablation: when false only complete queries earn
+  /// rewards (§4.2 Remark).
+  bool dense_partial_rewards = true;
+
+  uint64_t seed = 2024;
+};
+
+/// One generated query with its metadata. Move-only (owns the AST).
+struct GeneratedQuery {
+  std::string sql;
+  double metric = 0.0;       ///< estimated card/cost
+  bool satisfied = false;
+  QueryFeatures features;
+  QueryAst ast;              ///< for downstream execution / inspection
+};
+
+/// Outcome of a generation run.
+struct GenerationReport {
+  std::vector<GeneratedQuery> queries;
+  int attempts = 0;
+  int satisfied = 0;
+  double accuracy = 0.0;        ///< satisfied / attempts
+  double train_seconds = 0.0;
+  double generate_seconds = 0.0;
+  std::vector<EpochStats> trace;  ///< per-epoch training stats
+
+  double total_seconds() const { return train_seconds + generate_seconds; }
+};
+
+/// The LearnedSQLGen system facade: builds the action space, statistics,
+/// estimator and cost model for a database; trains the RL model for a
+/// constraint (Algorithm 1/3); generates satisfying queries (Algorithm 2).
+class LearnedSqlGen {
+ public:
+  /// Builds the pipeline for `db` (must outlive the generator).
+  static StatusOr<std::unique_ptr<LearnedSqlGen>> Create(
+      const Database* db, const LearnedSqlGenOptions& options);
+
+  /// Trains a fresh model for the given constraint.
+  Status Train(const Constraint& constraint);
+  Status TrainFor(const Constraint& constraint, int epochs);
+
+  /// Keeps generating until `n` satisfying queries are found or the attempt
+  /// budget (n · attempts_factor) runs out. Report contains only the
+  /// satisfying queries.
+  StatusOr<GenerationReport> GenerateSatisfied(int n);
+
+  /// Generates exactly `n` queries and reports the satisfied fraction
+  /// (the paper's accuracy metric). Report contains all n queries.
+  StatusOr<GenerationReport> GenerateBatch(int n);
+
+  /// Saves the trained actor's parameters to a binary file.
+  Status SaveModel(const std::string& path);
+
+  /// Rebuilds the pipeline for `constraint` (without training) and loads a
+  /// previously saved actor, so generation can resume across processes.
+  Status LoadModel(const Constraint& constraint, const std::string& path);
+
+  /// Per-epoch training trace of the last Train call (Figure 8c / 9c).
+  const std::vector<EpochStats>& trace() const { return trace_; }
+  double last_train_seconds() const { return train_seconds_; }
+
+  const Vocabulary& vocab() const { return *vocab_; }
+  const DatabaseStats& stats() const { return stats_; }
+  const CardinalityEstimator& estimator() const { return *estimator_; }
+  const CostModel& cost_model() const { return *cost_model_; }
+  SqlGenEnvironment* env() { return env_.get(); }
+  const LearnedSqlGenOptions& options() const { return options_; }
+
+ private:
+  LearnedSqlGen(const Database* db, const LearnedSqlGenOptions& options);
+
+  StatusOr<Trajectory> GenerateOne();
+
+  const Database* db_;
+  LearnedSqlGenOptions options_;
+  DatabaseStats stats_;
+  std::optional<Vocabulary> vocab_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<SqlGenEnvironment> env_;
+  std::unique_ptr<ActorCriticTrainer> ac_trainer_;
+  std::unique_ptr<ReinforceTrainer> reinforce_trainer_;
+  std::vector<EpochStats> trace_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_CORE_GENERATOR_H_

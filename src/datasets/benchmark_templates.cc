@@ -1,0 +1,114 @@
+#include "datasets/benchmark_templates.h"
+
+namespace lsg {
+
+std::vector<std::string> TpchLikeTemplates() {
+  return {
+      // Q1-style: pricing summary over lineitem with a date cutoff.
+      "SELECT lineitem.l_returnflag, SUM(lineitem.l_quantity), "
+      "AVG(lineitem.l_extendedprice) FROM lineitem WHERE "
+      "lineitem.l_shipdate <= 19980902 GROUP BY lineitem.l_returnflag",
+      // Q3-style: customer-orders-lineitem join with segment + date bands.
+      "SELECT lineitem.l_orderkey FROM lineitem JOIN orders ON "
+      "lineitem.l_orderkey = orders.o_orderkey JOIN customer ON "
+      "orders.o_custkey = customer.c_custkey WHERE customer.c_mktsegment = "
+      "'BUILDING' AND orders.o_orderdate < 19950315 AND "
+      "lineitem.l_shipdate > 19950315",
+      // Q5-style: regional revenue join chain.
+      "SELECT supplier.s_name FROM lineitem JOIN supplier ON "
+      "lineitem.l_suppkey = supplier.s_suppkey JOIN nation ON "
+      "supplier.s_nationkey = nation.n_nationkey WHERE "
+      "lineitem.l_quantity >= 24",
+      // Q6-style: quantity/discount band scan.
+      "SELECT lineitem.l_id FROM lineitem WHERE lineitem.l_shipdate >= "
+      "19940101 AND lineitem.l_discount >= 0.05 AND lineitem.l_quantity < "
+      "24",
+      // Part availability probe.
+      "SELECT partsupp.ps_id FROM partsupp JOIN part ON "
+      "partsupp.ps_partkey = part.p_partkey WHERE partsupp.ps_availqty > "
+      "5000 AND part.p_size < 15",
+      // High-value open orders.
+      "SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > "
+      "150000 AND orders.o_orderstatus = 'O'",
+      // Negative-balance customers per segment.
+      "SELECT customer.c_custkey FROM customer WHERE customer.c_acctbal < "
+      "0 AND customer.c_mktsegment = 'MACHINERY'",
+      // Nested: parts above the average retail price.
+      "SELECT part.p_partkey FROM part WHERE part.p_retailprice > "
+      "(SELECT AVG(part.p_retailprice) FROM part)",
+  };
+}
+
+std::vector<std::string> JobLikeTemplates() {
+  return {
+      // JOB 1a-style: production-year band over a company join.
+      "SELECT title.title FROM movie_companies JOIN title ON "
+      "movie_companies.movie_id = title.id WHERE title.production_year > "
+      "2005",
+      // Cast star join with role filter.
+      "SELECT name.name FROM cast_info JOIN name ON cast_info.person_id = "
+      "name.id JOIN title ON cast_info.movie_id = title.id WHERE "
+      "cast_info.role_id < 4 AND title.production_year > 1990",
+      // Keyword probe.
+      "SELECT title.title FROM movie_keyword JOIN title ON "
+      "movie_keyword.movie_id = title.id WHERE movie_keyword.keyword_id < "
+      "50",
+      // Info-type band over movie_info_idx (ratings-style).
+      "SELECT movie_info_idx.movie_id FROM movie_info_idx WHERE "
+      "movie_info_idx.info > 6.5 AND movie_info_idx.info_type_id = 6",
+      // Company country filter.
+      "SELECT company_name.name FROM movie_companies JOIN company_name ON "
+      "movie_companies.company_id = company_name.id WHERE "
+      "company_name.country_code = '[us]'",
+      // Person-info probe.
+      "SELECT person_info.person_id FROM person_info WHERE "
+      "person_info.info_type_id = 19 AND person_info.person_id < 500",
+      // Cast order band.
+      "SELECT cast_info.id FROM cast_info WHERE cast_info.nr_order <= 3 "
+      "AND cast_info.role_id = 1",
+      // Aggregation: prolific titles.
+      "SELECT cast_info.movie_id FROM cast_info GROUP BY "
+      "cast_info.movie_id HAVING COUNT(cast_info.person_id) > 10",
+  };
+}
+
+std::vector<std::string> XuetangLikeTemplates() {
+  return {
+      // Active enrollments for popular courses.
+      "SELECT enrollment.enroll_id FROM enrollment JOIN course ON "
+      "enrollment.course_id = course.course_id WHERE enrollment.status = "
+      "'active' AND course.price < 100",
+      // Watch-time band.
+      "SELECT video_watch.watch_id FROM video_watch WHERE "
+      "video_watch.watch_sec > 600 AND video_watch.watch_date >= 20210101",
+      // Exam performance join.
+      "SELECT users.name FROM exam_record JOIN users ON "
+      "exam_record.user_id = users.user_id WHERE exam_record.score >= 90",
+      // Struggling students per course.
+      "SELECT exam_record.record_id FROM exam_record JOIN exam ON "
+      "exam_record.exam_id = exam.exam_id WHERE exam_record.score < 60 AND "
+      "exam.duration_min > 60",
+      // Late submissions.
+      "SELECT submission.submit_id FROM submission WHERE "
+      "submission.submit_date > 20220101 AND submission.score < 70",
+      // Forum activity probe.
+      "SELECT forum_post.post_id FROM forum_post JOIN forum_thread ON "
+      "forum_post.thread_id = forum_thread.thread_id WHERE "
+      "forum_post.post_date >= 20210601",
+      // Demographics filter.
+      "SELECT users.user_id FROM users WHERE users.age < 25 AND "
+      "users.degree = 'bachelor'",
+      // Aggregation: heavy forum threads.
+      "SELECT forum_post.thread_id FROM forum_post GROUP BY "
+      "forum_post.thread_id HAVING COUNT(forum_post.post_id) > 5",
+  };
+}
+
+std::vector<std::string> TemplatesForDataset(const std::string& name) {
+  if (name == "TPC-H") return TpchLikeTemplates();
+  if (name == "JOB") return JobLikeTemplates();
+  if (name == "XueTang") return XuetangLikeTemplates();
+  return {};
+}
+
+}  // namespace lsg

@@ -1,0 +1,25 @@
+#ifndef LEARNEDSQLGEN_DATASETS_BENCHMARK_TEMPLATES_H_
+#define LEARNEDSQLGEN_DATASETS_BENCHMARK_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+namespace lsg {
+
+/// Hand-written query templates for each benchmark, in the spirit of the
+/// originals (TPC-H's Q1/Q3/Q5-style shapes, JOB's star joins around
+/// title/cast_info, XueTang's OLTP lookups). The paper's Template baseline
+/// [10, 38] starts from "the provided templates of the three benchmarks";
+/// these are that seed pool for our synthetic stand-ins. The literal
+/// predicate values are placeholders the hill-climber tweaks.
+std::vector<std::string> TpchLikeTemplates();
+std::vector<std::string> JobLikeTemplates();
+std::vector<std::string> XuetangLikeTemplates();
+
+/// Templates for the dataset name used by the bench harness
+/// ("TPC-H" / "JOB" / "XueTang").
+std::vector<std::string> TemplatesForDataset(const std::string& name);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_DATASETS_BENCHMARK_TEMPLATES_H_

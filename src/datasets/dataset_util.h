@@ -1,0 +1,81 @@
+#ifndef LEARNEDSQLGEN_DATASETS_DATASET_UTIL_H_
+#define LEARNEDSQLGEN_DATASETS_DATASET_UTIL_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+
+namespace lsg {
+
+/// Scaling knob for all synthetic benchmarks: table sizes are expressed in
+/// units of `base_rows` so the whole database grows/shrinks together.
+/// Defaults keep every experiment laptop-fast while preserving the schema
+/// topology (FK graph) and realistic value skew of the originals.
+struct DatasetScale {
+  double factor = 1.0;   ///< multiplies all table row counts
+  uint64_t seed = 20220612;  ///< SIGMOD'22 ;-)
+
+  int Rows(int base) const {
+    int n = static_cast<int>(base * factor);
+    return n < 2 ? 2 : n;
+  }
+};
+
+namespace dataset_internal {
+
+/// Quick builders so schema definitions read like DDL.
+inline ColumnSchema Pk(const std::string& name) {
+  return ColumnSchema{name, DataType::kInt64, /*is_primary_key=*/true,
+                      /*nullable=*/false};
+}
+inline ColumnSchema Int(const std::string& name) {
+  return ColumnSchema{name, DataType::kInt64, false, false};
+}
+inline ColumnSchema Dbl(const std::string& name) {
+  return ColumnSchema{name, DataType::kDouble, false, false};
+}
+inline ColumnSchema Str(const std::string& name) {
+  return ColumnSchema{name, DataType::kString, false, false};
+}
+inline ColumnSchema Cat(const std::string& name) {
+  return ColumnSchema{name, DataType::kCategorical, false, false};
+}
+
+inline TableSchema MakeSchema(const std::string& name,
+                              std::vector<ColumnSchema> cols) {
+  TableSchema s(name);
+  for (ColumnSchema& c : cols) LSG_CHECK_OK(s.AddColumn(std::move(c)));
+  return s;
+}
+
+/// Uniformly random pick from a categorical vocabulary.
+inline std::string PickCat(Rng* rng, const std::vector<std::string>& values) {
+  return values[rng->Uniform(values.size())];
+}
+
+/// Zipf-skewed pick (popular first entries).
+inline std::string PickCatZipf(Rng* rng, const std::vector<std::string>& values,
+                               double skew) {
+  return values[rng->Zipf(values.size(), skew)];
+}
+
+/// Synthetic proper-noun-ish string: "<prefix>_<id>".
+inline std::string SynthName(const std::string& prefix, int64_t id) {
+  return StrFormat("%s_%lld", prefix.c_str(), static_cast<long long>(id));
+}
+
+/// Rounds a double to 2 decimals (price-like values).
+inline double Price(Rng* rng, double lo, double hi) {
+  double v = rng->UniformDouble(lo, hi);
+  return std::round(v * 100.0) / 100.0;
+}
+
+}  // namespace dataset_internal
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_DATASETS_DATASET_UTIL_H_

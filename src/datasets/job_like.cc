@@ -1,0 +1,299 @@
+#include "datasets/job_like.h"
+
+namespace lsg {
+
+using namespace dataset_internal;  // NOLINT(build/namespaces): DDL helpers
+
+namespace {
+
+/// Builds a small dimension table "name(id PK, <col> CATEGORICAL)" with one
+/// row per vocabulary entry.
+void AddDimension(Database* db, const std::string& name,
+                  const std::string& col,
+                  const std::vector<std::string>& values) {
+  Table t(MakeSchema(name, {Pk("id"), Cat(col)}));
+  for (size_t i = 0; i < values.size(); ++i) {
+    LSG_CHECK_OK(
+        t.AppendRow({Value(static_cast<int64_t>(i)), Value(values[i])}));
+  }
+  LSG_CHECK_OK(db->AddTable(std::move(t)));
+}
+
+}  // namespace
+
+Database BuildJobLike(const DatasetScale& scale) {
+  Rng rng(scale.seed + 1);
+  Database db;
+
+  const int n_title = scale.Rows(800);
+  const int n_name = scale.Rows(1000);
+  const int n_char = scale.Rows(600);
+  const int n_company = scale.Rows(200);
+  const int n_keyword = scale.Rows(300);
+  const int n_aka_name = scale.Rows(300);
+  const int n_aka_title = scale.Rows(200);
+  const int n_cast = scale.Rows(4000);
+  const int n_complete = scale.Rows(300);
+  const int n_mc = scale.Rows(800);
+  const int n_mi = scale.Rows(2500);
+  const int n_mi_idx = scale.Rows(900);
+  const int n_mk = scale.Rows(1500);
+  const int n_ml = scale.Rows(150);
+  const int n_pi = scale.Rows(1000);
+
+  // Dimension tables (real IMDB vocabularies, abbreviated).
+  AddDimension(&db, "kind_type", "kind",
+               {"movie", "tv series", "tv movie", "video movie",
+                "tv mini series", "video game", "episode"});
+  AddDimension(&db, "comp_cast_type", "kind",
+               {"cast", "crew", "complete", "complete+verified"});
+  AddDimension(&db, "company_type", "kind",
+               {"distributors", "production companies",
+                "special effects companies", "miscellaneous companies"});
+  AddDimension(&db, "info_type", "info",
+               {"runtimes", "color info", "genres", "languages", "countries",
+                "rating", "votes", "budget", "gross", "release dates",
+                "taglines", "keywords", "certificates", "sound mix",
+                "locations", "tech info", "plot", "quotes", "trivia",
+                "goofs"});
+  AddDimension(&db, "link_type", "link",
+               {"follows", "followed by", "remake of", "remade as",
+                "references", "referenced in", "spoofs", "spoofed in",
+                "features", "featured in", "spin off from", "spin off",
+                "version of", "similar to", "edited into", "edited from",
+                "alternate language version of"});
+  AddDimension(&db, "role_type", "role",
+               {"actor", "actress", "producer", "writer", "cinematographer",
+                "composer", "costume designer", "director", "editor",
+                "miscellaneous crew", "production designer", "guest"});
+
+  const std::vector<std::string> genders = {"m", "f", ""};
+  const std::vector<std::string> countries = {"[us]", "[gb]", "[de]", "[fr]",
+                                              "[jp]", "[in]", "[ca]", "[it]"};
+
+  // title
+  {
+    Table t(MakeSchema("title", {Pk("id"), Str("title"), Int("kind_id"),
+                                 Int("production_year")}));
+    for (int i = 0; i < n_title; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("Title", i)),
+           Value(static_cast<int64_t>(rng.Zipf(7, 1.2))),
+           Value(static_cast<int64_t>(1930 + rng.Zipf(92, 0.4)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // name
+  {
+    Table t(MakeSchema("name", {Pk("id"), Str("name"), Cat("gender")}));
+    for (int i = 0; i < n_name; ++i) {
+      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}),
+                                Value(SynthName("Person", i)),
+                                Value(PickCat(&rng, genders))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // char_name
+  {
+    Table t(MakeSchema("char_name", {Pk("id"), Str("name")}));
+    for (int i = 0; i < n_char; ++i) {
+      LSG_CHECK_OK(
+          t.AppendRow({Value(int64_t{i}), Value(SynthName("Char", i))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // company_name
+  {
+    Table t(MakeSchema("company_name",
+                       {Pk("id"), Str("name"), Cat("country_code")}));
+    for (int i = 0; i < n_company; ++i) {
+      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}),
+                                Value(SynthName("Company", i)),
+                                Value(PickCatZipf(&rng, countries, 1.0))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // keyword
+  {
+    Table t(MakeSchema("keyword", {Pk("id"), Str("keyword")}));
+    for (int i = 0; i < n_keyword; ++i) {
+      LSG_CHECK_OK(
+          t.AppendRow({Value(int64_t{i}), Value(SynthName("kw", i))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // aka_name / aka_title
+  {
+    Table t(MakeSchema("aka_name", {Pk("id"), Int("person_id"), Str("name")}));
+    for (int i = 0; i < n_aka_name; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_name))),
+           Value(SynthName("Aka", i))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+  {
+    Table t(MakeSchema("aka_title", {Pk("id"), Int("movie_id"), Str("title")}));
+    for (int i = 0; i < n_aka_title; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_title))),
+           Value(SynthName("AkaTitle", i))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // cast_info — the biggest bridge; blockbuster titles hoard cast rows.
+  {
+    Table t(MakeSchema("cast_info",
+                       {Pk("id"), Int("person_id"), Int("movie_id"),
+                        Int("person_role_id"), Int("role_id"),
+                        Int("nr_order")}));
+    for (int i = 0; i < n_cast; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_name, 0.8))),
+           Value(static_cast<int64_t>(rng.Zipf(n_title, 0.9))),
+           Value(static_cast<int64_t>(rng.Uniform(n_char))),
+           Value(static_cast<int64_t>(rng.Zipf(12, 1.0))),
+           Value(static_cast<int64_t>(1 + rng.Uniform(60)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // complete_cast
+  {
+    Table t(MakeSchema("complete_cast",
+                       {Pk("id"), Int("movie_id"), Int("subject_id"),
+                        Int("status_id")}));
+    for (int i = 0; i < n_complete; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_title))),
+           Value(static_cast<int64_t>(rng.Uniform(2))),
+           Value(static_cast<int64_t>(2 + rng.Uniform(2)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // movie_companies
+  {
+    Table t(MakeSchema("movie_companies",
+                       {Pk("id"), Int("movie_id"), Int("company_id"),
+                        Int("company_type_id")}));
+    for (int i = 0; i < n_mc; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_title, 0.6))),
+           Value(static_cast<int64_t>(rng.Zipf(n_company, 1.0))),
+           Value(static_cast<int64_t>(rng.Uniform(4)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // movie_info / movie_info_idx
+  {
+    Table t(MakeSchema("movie_info", {Pk("id"), Int("movie_id"),
+                                      Int("info_type_id"), Str("info")}));
+    for (int i = 0; i < n_mi; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_title, 0.7))),
+           Value(static_cast<int64_t>(rng.Uniform(20))),
+           Value(SynthName("info", static_cast<int>(rng.Uniform(400))))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+  {
+    Table t(MakeSchema("movie_info_idx",
+                       {Pk("id"), Int("movie_id"), Int("info_type_id"),
+                        Dbl("info")}));
+    for (int i = 0; i < n_mi_idx; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_title))),
+           Value(static_cast<int64_t>(5 + rng.Uniform(4))),
+           Value(std::round(rng.UniformDouble(1.0, 10.0) * 10.0) / 10.0)}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // movie_keyword
+  {
+    Table t(MakeSchema("movie_keyword",
+                       {Pk("id"), Int("movie_id"), Int("keyword_id")}));
+    for (int i = 0; i < n_mk; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_title, 0.6))),
+           Value(static_cast<int64_t>(rng.Zipf(n_keyword, 0.9)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // movie_link
+  {
+    Table t(MakeSchema("movie_link",
+                       {Pk("id"), Int("movie_id"), Int("linked_movie_id"),
+                        Int("link_type_id")}));
+    for (int i = 0; i < n_ml; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_title))),
+           Value(static_cast<int64_t>(rng.Uniform(n_title))),
+           Value(static_cast<int64_t>(rng.Uniform(17)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // person_info
+  {
+    Table t(MakeSchema("person_info", {Pk("id"), Int("person_id"),
+                                       Int("info_type_id"), Str("info")}));
+    for (int i = 0; i < n_pi; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_name, 0.7))),
+           Value(static_cast<int64_t>(rng.Uniform(20))),
+           Value(SynthName("bio", static_cast<int>(rng.Uniform(300))))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // FK graph — the JOB join topology.
+  LSG_CHECK_OK(db.AddForeignKey({"title", "kind_id", "kind_type", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"aka_name", "person_id", "name", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"aka_title", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"cast_info", "person_id", "name", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"cast_info", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"cast_info", "person_role_id", "char_name", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"cast_info", "role_id", "role_type", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"complete_cast", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey(
+      {"complete_cast", "subject_id", "comp_cast_type", "id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"movie_companies", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey(
+      {"movie_companies", "company_id", "company_name", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey(
+      {"movie_companies", "company_type_id", "company_type", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"movie_info", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"movie_info", "info_type_id", "info_type", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"movie_info_idx", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"movie_keyword", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"movie_keyword", "keyword_id", "keyword", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"movie_link", "movie_id", "title", "id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"movie_link", "link_type_id", "link_type", "id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"person_info", "person_id", "name", "id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"person_info", "info_type_id", "info_type", "id"}));
+  return db;
+}
+
+}  // namespace lsg

@@ -1,0 +1,18 @@
+#ifndef LEARNEDSQLGEN_DATASETS_JOB_LIKE_H_
+#define LEARNEDSQLGEN_DATASETS_JOB_LIKE_H_
+
+#include "datasets/dataset_util.h"
+
+namespace lsg {
+
+/// Synthetic stand-in for the Join Order Benchmark's IMDB database [1]:
+/// all 21 tables with the real FK topology — `title` and `name` as hubs,
+/// small `*_type` dimension tables, and wide many-to-many bridge tables
+/// (cast_info, movie_info, movie_keyword, movie_companies, ...). Value
+/// distributions mimic IMDB's heavy skew (a few blockbusters collect most
+/// of the cast/info rows).
+Database BuildJobLike(const DatasetScale& scale = DatasetScale());
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_DATASETS_JOB_LIKE_H_

@@ -1,0 +1,182 @@
+#include "datasets/tpch_like.h"
+
+#include <cmath>
+
+namespace lsg {
+
+using namespace dataset_internal;  // NOLINT(build/namespaces): DDL helpers
+
+Database BuildTpchLike(const DatasetScale& scale) {
+  Rng rng(scale.seed);
+  Database db;
+
+  const int n_region = 5;
+  const int n_nation = 25;
+  const int n_supplier = scale.Rows(100);
+  const int n_customer = scale.Rows(400);
+  const int n_part = scale.Rows(300);
+  const int n_partsupp = scale.Rows(600);
+  const int n_orders = scale.Rows(1200);
+  const int n_lineitem = scale.Rows(3000);
+
+  const std::vector<std::string> regions = {"AFRICA", "AMERICA", "ASIA",
+                                            "EUROPE", "MIDDLE EAST"};
+  const std::vector<std::string> segments = {"AUTOMOBILE", "BUILDING",
+                                             "FURNITURE", "HOUSEHOLD",
+                                             "MACHINERY"};
+  const std::vector<std::string> brands = {"Brand#11", "Brand#12", "Brand#21",
+                                           "Brand#22", "Brand#31", "Brand#32",
+                                           "Brand#41", "Brand#42"};
+  const std::vector<std::string> statuses = {"F", "O", "P"};
+  const std::vector<std::string> priorities = {"1-URGENT", "2-HIGH",
+                                               "3-MEDIUM", "4-NOT SPECIFIED",
+                                               "5-LOW"};
+  const std::vector<std::string> returnflags = {"A", "N", "R"};
+  const std::vector<std::string> shipmodes = {"AIR", "FOB", "MAIL", "RAIL",
+                                              "REG AIR", "SHIP", "TRUCK"};
+
+  // region
+  {
+    Table t(MakeSchema("region", {Pk("r_regionkey"), Cat("r_name")}));
+    for (int i = 0; i < n_region; ++i) {
+      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}), Value(regions[i])}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // nation
+  {
+    Table t(MakeSchema("nation", {Pk("n_nationkey"), Str("n_name"),
+                                  Int("n_regionkey")}));
+    for (int i = 0; i < n_nation; ++i) {
+      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}),
+                                Value(SynthName("NATION", i)),
+                                Value(int64_t{i % n_region})}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // supplier
+  {
+    Table t(MakeSchema("supplier",
+                       {Pk("s_suppkey"), Str("s_name"), Int("s_nationkey"),
+                        Dbl("s_acctbal")}));
+    for (int i = 0; i < n_supplier; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("Supplier", i)),
+           Value(static_cast<int64_t>(rng.Uniform(n_nation))),
+           Value(Price(&rng, -999.99, 9999.99))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // customer
+  {
+    Table t(MakeSchema("customer",
+                       {Pk("c_custkey"), Str("c_name"), Int("c_nationkey"),
+                        Dbl("c_acctbal"), Cat("c_mktsegment")}));
+    for (int i = 0; i < n_customer; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("Customer", i)),
+           Value(static_cast<int64_t>(rng.Uniform(n_nation))),
+           Value(Price(&rng, -999.99, 9999.99)),
+           Value(PickCat(&rng, segments))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // part
+  {
+    Table t(MakeSchema("part", {Pk("p_partkey"), Str("p_name"),
+                                Cat("p_brand"), Int("p_size"),
+                                Dbl("p_retailprice")}));
+    for (int i = 0; i < n_part; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("Part", i)),
+           Value(PickCatZipf(&rng, brands, 0.8)),
+           Value(static_cast<int64_t>(1 + rng.Uniform(50))),
+           Value(Price(&rng, 900.0, 2100.0))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // partsupp — bridge between part and supplier.
+  {
+    Table t(MakeSchema("partsupp",
+                       {Pk("ps_id"), Int("ps_partkey"), Int("ps_suppkey"),
+                        Int("ps_availqty"), Dbl("ps_supplycost")}));
+    for (int i = 0; i < n_partsupp; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_part))),
+           Value(static_cast<int64_t>(rng.Uniform(n_supplier))),
+           Value(static_cast<int64_t>(1 + rng.Uniform(9999))),
+           Value(Price(&rng, 1.0, 1000.0))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // orders — customer fanout is zipf-skewed (few heavy customers).
+  {
+    Table t(MakeSchema("orders",
+                       {Pk("o_orderkey"), Int("o_custkey"),
+                        Cat("o_orderstatus"), Dbl("o_totalprice"),
+                        Int("o_orderdate"), Cat("o_orderpriority")}));
+    for (int i = 0; i < n_orders; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_customer, 0.7))),
+           Value(PickCat(&rng, statuses)),
+           Value(Price(&rng, 850.0, 500000.0)),
+           Value(static_cast<int64_t>(19920101 + rng.Uniform(70000))),
+           Value(PickCat(&rng, priorities))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // lineitem — the fact table (~2.5 lines per order).
+  {
+    Table t(MakeSchema(
+        "lineitem",
+        {Pk("l_id"), Int("l_orderkey"), Int("l_partkey"), Int("l_suppkey"),
+         Int("l_quantity"), Dbl("l_extendedprice"), Dbl("l_discount"),
+         Cat("l_returnflag"), Cat("l_shipmode"), Int("l_shipdate")}));
+    for (int i = 0; i < n_lineitem; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_orders))),
+           Value(static_cast<int64_t>(rng.Zipf(n_part, 0.5))),
+           Value(static_cast<int64_t>(rng.Uniform(n_supplier))),
+           Value(static_cast<int64_t>(1 + rng.Uniform(50))),
+           Value(Price(&rng, 900.0, 105000.0)),
+           Value(std::round(rng.UniformDouble(0.0, 0.10) * 100.0) / 100.0),
+           Value(PickCat(&rng, returnflags)),
+           Value(PickCat(&rng, shipmodes)),
+           Value(static_cast<int64_t>(19920101 + rng.Uniform(70000)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  // FK graph (the Meaningful-Checking join rules of §5).
+  LSG_CHECK_OK(
+      db.AddForeignKey({"nation", "n_regionkey", "region", "r_regionkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"supplier", "s_nationkey", "nation", "n_nationkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"customer", "c_nationkey", "nation", "n_nationkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"partsupp", "ps_partkey", "part", "p_partkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"partsupp", "ps_suppkey", "supplier", "s_suppkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"orders", "o_custkey", "customer", "c_custkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"lineitem", "l_orderkey", "orders", "o_orderkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"lineitem", "l_partkey", "part", "p_partkey"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"lineitem", "l_suppkey", "supplier", "s_suppkey"}));
+  return db;
+}
+
+}  // namespace lsg

@@ -1,0 +1,18 @@
+#ifndef LEARNEDSQLGEN_DATASETS_TPCH_LIKE_H_
+#define LEARNEDSQLGEN_DATASETS_TPCH_LIKE_H_
+
+#include "datasets/dataset_util.h"
+
+namespace lsg {
+
+/// Synthetic stand-in for TPC-H [2]: the benchmark's 8 tables with their
+/// PK-FK topology (region <- nation <- {supplier, customer} <- orders <-
+/// lineitem -> {part, supplier}; partsupp bridges part/supplier), realistic
+/// column types (prices, dates-as-ints, categorical flags) and skewed FK
+/// fanout. Default sizes (~8.5K rows total at factor 1) keep experiments
+/// laptop-fast; raise `scale.factor` for bigger instances.
+Database BuildTpchLike(const DatasetScale& scale = DatasetScale());
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_DATASETS_TPCH_LIKE_H_

@@ -1,0 +1,280 @@
+#include "datasets/xuetang_like.h"
+
+#include <cmath>
+
+namespace lsg {
+
+using namespace dataset_internal;  // NOLINT(build/namespaces): DDL helpers
+
+Database BuildXuetangLike(const DatasetScale& scale) {
+  Rng rng(scale.seed + 2);
+  Database db;
+
+  const int n_school = scale.Rows(30);
+  const int n_user = scale.Rows(1000);
+  const int n_teacher = scale.Rows(80);
+  const int n_course = scale.Rows(120);
+  const int n_chapter = scale.Rows(600);
+  const int n_video = scale.Rows(900);
+  const int n_enroll = scale.Rows(3000);
+  const int n_watch = scale.Rows(4000);
+  const int n_exam = scale.Rows(240);
+  const int n_exam_rec = scale.Rows(2000);
+  const int n_assign = scale.Rows(360);
+  const int n_submit = scale.Rows(1800);
+  const int n_thread = scale.Rows(400);
+  const int n_post = scale.Rows(1400);
+
+  const std::vector<std::string> degrees = {"bachelor", "master", "phd",
+                                            "none"};
+  const std::vector<std::string> genders = {"male", "female", "unknown"};
+  const std::vector<std::string> categories = {"cs", "math", "physics",
+                                               "biology", "economics", "art",
+                                               "language", "engineering"};
+  const std::vector<std::string> levels = {"beginner", "intermediate",
+                                           "advanced"};
+  const std::vector<std::string> enroll_status = {"active", "completed",
+                                                  "dropped"};
+  const std::vector<std::string> grades = {"A", "B", "C", "D", "F"};
+
+  {
+    Table t(MakeSchema("school", {Pk("school_id"), Str("name"), Cat("tier")}));
+    for (int i = 0; i < n_school; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("School", i)),
+           Value(PickCat(&rng, {"top", "mid", "normal"}))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("users", {Pk("user_id"), Str("name"), Cat("gender"),
+                                 Int("age"), Cat("degree"),
+                                 Int("school_id")}));
+    for (int i = 0; i < n_user; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("User", i)),
+           Value(PickCat(&rng, genders)),
+           Value(static_cast<int64_t>(15 + rng.Zipf(45, 0.6))),
+           Value(PickCatZipf(&rng, degrees, 0.8)),
+           Value(static_cast<int64_t>(rng.Uniform(n_school)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("teacher", {Pk("teacher_id"), Str("name"),
+                                   Int("school_id"), Dbl("rating")}));
+    for (int i = 0; i < n_teacher; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("Teacher", i)),
+           Value(static_cast<int64_t>(rng.Uniform(n_school))),
+           Value(std::round(rng.UniformDouble(2.5, 5.0) * 10.0) / 10.0)}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("course",
+                       {Pk("course_id"), Str("title"), Cat("category"),
+                        Cat("level"), Int("teacher_id"), Dbl("price"),
+                        Int("duration_weeks")}));
+    for (int i = 0; i < n_course; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}), Value(SynthName("Course", i)),
+           Value(PickCatZipf(&rng, categories, 0.7)),
+           Value(PickCat(&rng, levels)),
+           Value(static_cast<int64_t>(rng.Uniform(n_teacher))),
+           Value(Price(&rng, 0.0, 299.0)),
+           Value(static_cast<int64_t>(4 + rng.Uniform(13)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("chapter", {Pk("chapter_id"), Int("course_id"),
+                                   Int("seq"), Str("title")}));
+    for (int i = 0; i < n_chapter; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_course))),
+           Value(static_cast<int64_t>(1 + rng.Uniform(12))),
+           Value(SynthName("Chapter", i))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("video", {Pk("video_id"), Int("chapter_id"),
+                                 Int("length_sec")}));
+    for (int i = 0; i < n_video; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_chapter))),
+           Value(static_cast<int64_t>(60 + rng.Uniform(1740)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("enrollment",
+                       {Pk("enroll_id"), Int("user_id"), Int("course_id"),
+                        Cat("status"), Int("enroll_date"),
+                        Dbl("progress")}));
+    for (int i = 0; i < n_enroll; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_user, 0.6))),
+           Value(static_cast<int64_t>(rng.Zipf(n_course, 0.9))),
+           Value(PickCat(&rng, enroll_status)),
+           Value(static_cast<int64_t>(20200101 + rng.Uniform(40000))),
+           Value(std::round(rng.UniformDouble(0.0, 1.0) * 100.0) / 100.0)}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("video_watch",
+                       {Pk("watch_id"), Int("user_id"), Int("video_id"),
+                        Int("watch_sec"), Int("watch_date")}));
+    for (int i = 0; i < n_watch; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_user, 0.8))),
+           Value(static_cast<int64_t>(rng.Zipf(n_video, 0.7))),
+           Value(static_cast<int64_t>(rng.Uniform(1800))),
+           Value(static_cast<int64_t>(20200101 + rng.Uniform(40000)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("exam", {Pk("exam_id"), Int("course_id"),
+                                Dbl("full_score"), Int("duration_min")}));
+    for (int i = 0; i < n_exam; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_course))),
+           Value(100.0), Value(static_cast<int64_t>(30 + rng.Uniform(120)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("exam_record",
+                       {Pk("record_id"), Int("exam_id"), Int("user_id"),
+                        Dbl("score"), Cat("grade")}));
+    for (int i = 0; i < n_exam_rec; ++i) {
+      double score =
+          std::min(100.0, std::max(0.0, rng.Normal(72.0, 18.0)));
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_exam))),
+           Value(static_cast<int64_t>(rng.Zipf(n_user, 0.5))),
+           Value(std::round(score * 10.0) / 10.0),
+           Value(grades[score >= 90   ? 0
+                        : score >= 80 ? 1
+                        : score >= 70 ? 2
+                        : score >= 60 ? 3
+                                      : 4])}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("assignment", {Pk("assign_id"), Int("course_id"),
+                                      Int("deadline"), Dbl("weight")}));
+    for (int i = 0; i < n_assign; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_course))),
+           Value(static_cast<int64_t>(20200101 + rng.Uniform(40000))),
+           Value(std::round(rng.UniformDouble(0.05, 0.4) * 100.0) / 100.0)}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("submission",
+                       {Pk("submit_id"), Int("assign_id"), Int("user_id"),
+                        Dbl("score"), Int("submit_date")}));
+    for (int i = 0; i < n_submit; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Uniform(n_assign))),
+           Value(static_cast<int64_t>(rng.Zipf(n_user, 0.6))),
+           Value(std::round(
+                     std::min(100.0, std::max(0.0, rng.Normal(78.0, 15.0))) *
+                     10.0) /
+                 10.0),
+           Value(static_cast<int64_t>(20200101 + rng.Uniform(40000)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("forum_thread", {Pk("thread_id"), Int("course_id"),
+                                        Int("user_id"), Str("title")}));
+    for (int i = 0; i < n_thread; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_course, 0.8))),
+           Value(static_cast<int64_t>(rng.Uniform(n_user))),
+           Value(SynthName("Thread", i))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  {
+    Table t(MakeSchema("forum_post", {Pk("post_id"), Int("thread_id"),
+                                      Int("user_id"), Int("post_date")}));
+    for (int i = 0; i < n_post; ++i) {
+      LSG_CHECK_OK(t.AppendRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.Zipf(n_thread, 0.9))),
+           Value(static_cast<int64_t>(rng.Zipf(n_user, 0.7))),
+           Value(static_cast<int64_t>(20200101 + rng.Uniform(40000)))}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+
+  LSG_CHECK_OK(db.AddForeignKey({"users", "school_id", "school", "school_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"teacher", "school_id", "school", "school_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"course", "teacher_id", "teacher", "teacher_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"chapter", "course_id", "course", "course_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"video", "chapter_id", "chapter", "chapter_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"enrollment", "user_id", "users", "user_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"enrollment", "course_id", "course", "course_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"video_watch", "user_id", "users", "user_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"video_watch", "video_id", "video", "video_id"}));
+  LSG_CHECK_OK(db.AddForeignKey({"exam", "course_id", "course", "course_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"exam_record", "exam_id", "exam", "exam_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"exam_record", "user_id", "users", "user_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"assignment", "course_id", "course", "course_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"submission", "assign_id", "assignment", "assign_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"submission", "user_id", "users", "user_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"forum_thread", "course_id", "course", "course_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"forum_thread", "user_id", "users", "user_id"}));
+  LSG_CHECK_OK(db.AddForeignKey(
+      {"forum_post", "thread_id", "forum_thread", "thread_id"}));
+  LSG_CHECK_OK(
+      db.AddForeignKey({"forum_post", "user_id", "users", "user_id"}));
+  return db;
+}
+
+}  // namespace lsg

@@ -1,0 +1,17 @@
+#ifndef LEARNEDSQLGEN_DATASETS_XUETANG_LIKE_H_
+#define LEARNEDSQLGEN_DATASETS_XUETANG_LIKE_H_
+
+#include "datasets/dataset_util.h"
+
+namespace lsg {
+
+/// Synthetic stand-in for the XueTang online-education OLTP benchmark [3]:
+/// 14 tables modeling users, schools, teachers, courses, chapters, videos,
+/// enrollments, watch logs, exams, exam records, assignments, submissions,
+/// forum threads/posts and certificates, with OLTP-style FK fanout (long
+/// activity logs hanging off users and courses).
+Database BuildXuetangLike(const DatasetScale& scale = DatasetScale());
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_DATASETS_XUETANG_LIKE_H_

@@ -1,0 +1,27 @@
+#include "exec/dml_executor.h"
+
+namespace lsg {
+
+StatusOr<uint64_t> DmlExecutor::AffectedRows(const QueryAst& ast) const {
+  if (ast.type == QueryType::kSelect) {
+    return Status::InvalidArgument("AffectedRows expects a DML query");
+  }
+  return exec_.Cardinality(ast);
+}
+
+Status DmlExecutor::ApplyInsert(Database* db, const QueryAst& ast) const {
+  if (ast.type != QueryType::kInsert || ast.insert == nullptr) {
+    return Status::InvalidArgument("ApplyInsert expects an INSERT ast");
+  }
+  const InsertQuery& ins = *ast.insert;
+  if (ins.source != nullptr) {
+    return Status::Unimplemented(
+        "ApplyInsert supports only the VALUES form; INSERT..SELECT is "
+        "evaluated via AffectedRows");
+  }
+  Table* t = db->FindMutableTable(db->catalog().table(ins.table_idx).name());
+  if (t == nullptr) return Status::NotFound("insert target table missing");
+  return t->AppendRow(ins.values);
+}
+
+}  // namespace lsg

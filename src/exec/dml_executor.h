@@ -1,0 +1,30 @@
+#ifndef LEARNEDSQLGEN_EXEC_DML_EXECUTOR_H_
+#define LEARNEDSQLGEN_EXEC_DML_EXECUTOR_H_
+
+#include "exec/executor.h"
+
+namespace lsg {
+
+/// Dry-run DML semantics: computes the number of rows an INSERT/UPDATE/
+/// DELETE would affect without mutating the database. The generation
+/// environment treats affected-row count as the "cardinality" of a DML
+/// query, matching how the paper's constraints extend to insert/update/
+/// delete (§5, Figure 11).
+class DmlExecutor {
+ public:
+  explicit DmlExecutor(const Database* db) : exec_(db) {}
+
+  /// Affected-row count for a DML ast; InvalidArgument for SELECT.
+  StatusOr<uint64_t> AffectedRows(const QueryAst& ast) const;
+
+  /// Applies an INSERT (VALUES form) for real — used by tests that verify
+  /// dry-run counts against actual mutation on a scratch copy.
+  Status ApplyInsert(Database* db, const QueryAst& ast) const;
+
+ private:
+  Executor exec_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_EXEC_DML_EXECUTOR_H_

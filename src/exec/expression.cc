@@ -1,0 +1,100 @@
+#include "exec/expression.h"
+
+#include "common/logging.h"
+
+namespace lsg {
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer matcher with backtracking over the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos;  // position after the last '%'
+  size_t star_t = 0;                  // text position to resume from
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = ++p;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool CompareValues(const Value& a, CompareOp op, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  int c = a.Compare(b);
+  switch (op) {
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kNumOps:
+      break;
+  }
+  return false;
+}
+
+bool CombinePredicates(const std::vector<bool>& preds,
+                       const std::vector<BoolConn>& conns) {
+  if (preds.empty()) return true;
+  LSG_DCHECK(conns.size() + 1 == preds.size());
+  // Evaluate AND-runs first, then OR them together.
+  bool or_acc = false;
+  bool and_acc = preds[0];
+  for (size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i] == BoolConn::kAnd) {
+      and_acc = and_acc && preds[i + 1];
+    } else {
+      or_acc = or_acc || and_acc;
+      and_acc = preds[i + 1];
+    }
+  }
+  return or_acc || and_acc;
+}
+
+double CombineSelectivities(const std::vector<double>& sels,
+                            const std::vector<BoolConn>& conns) {
+  if (sels.empty()) return 1.0;
+  LSG_DCHECK(conns.size() + 1 == sels.size());
+  double or_acc = 0.0;
+  bool have_or = false;
+  double and_acc = sels[0];
+  auto fold_or = [&](double v) {
+    if (!have_or) {
+      or_acc = v;
+      have_or = true;
+    } else {
+      or_acc = or_acc + v - or_acc * v;  // inclusion-exclusion
+    }
+  };
+  for (size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i] == BoolConn::kAnd) {
+      and_acc *= sels[i + 1];  // independence
+    } else {
+      fold_or(and_acc);
+      and_acc = sels[i + 1];
+    }
+  }
+  fold_or(and_acc);
+  if (or_acc < 0.0) or_acc = 0.0;
+  if (or_acc > 1.0) or_acc = 1.0;
+  return or_acc;
+}
+
+}  // namespace lsg

@@ -1,0 +1,32 @@
+#ifndef LEARNEDSQLGEN_EXEC_EXPRESSION_H_
+#define LEARNEDSQLGEN_EXEC_EXPRESSION_H_
+
+#include <vector>
+
+#include "catalog/value.h"
+#include "sql/ast.h"
+
+namespace lsg {
+
+/// Evaluates `a op b` with SQL comparison semantics. Any NULL operand makes
+/// the comparison false.
+bool CompareValues(const Value& a, CompareOp op, const Value& b);
+
+/// Combines per-predicate truth values with the connector chain, honoring
+/// SQL precedence (AND binds tighter than OR). `conns.size()` must be
+/// `preds.size() - 1`; an empty chain yields true.
+bool CombinePredicates(const std::vector<bool>& preds,
+                       const std::vector<BoolConn>& conns);
+
+/// Same combination rule applied to selectivities (independence for AND,
+/// inclusion-exclusion for OR) — shared by the cardinality estimator.
+double CombineSelectivities(const std::vector<double>& sels,
+                            const std::vector<BoolConn>& conns);
+
+/// SQL LIKE matching: '%' matches any run (including empty), '_' matches
+/// exactly one character; everything else is literal. Case-sensitive.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_EXEC_EXPRESSION_H_

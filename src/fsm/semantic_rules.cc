@@ -1,0 +1,60 @@
+#include "fsm/semantic_rules.h"
+
+namespace lsg {
+
+bool OperatorAllowedForType(CompareOp op, DataType type) {
+  if (IsNumeric(type)) return op != CompareOp::kNumOps;
+  switch (op) {
+    case CompareOp::kEq:
+    case CompareOp::kLt:
+    case CompareOp::kGt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool AggregateAllowedForType(AggFunc agg, DataType type) {
+  switch (agg) {
+    case AggFunc::kCount:
+      return true;
+    case AggFunc::kMax:
+    case AggFunc::kMin:
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      return IsNumeric(type);
+    case AggFunc::kNone:
+      return true;
+  }
+  return false;
+}
+
+bool AggregateKeywordAllowedForType(Keyword kw, DataType type) {
+  switch (kw) {
+    case Keyword::kCount:
+      return true;
+    case Keyword::kMax:
+    case Keyword::kMin:
+    case Keyword::kSum:
+    case Keyword::kAvg:
+      return IsNumeric(type);
+    default:
+      return false;
+  }
+}
+
+bool TableHasNumericColumn(const TableSchema& schema) {
+  for (const ColumnSchema& c : schema.columns()) {
+    if (IsNumeric(c.type)) return true;
+  }
+  return false;
+}
+
+bool ColumnsComparable(const Catalog& catalog, const ColumnRef& a,
+                       const ColumnRef& b) {
+  DataType ta = catalog.table(a.table_idx).column(a.column_idx).type;
+  DataType tb = catalog.table(b.table_idx).column(b.column_idx).type;
+  return AreComparable(ta, tb);
+}
+
+}  // namespace lsg

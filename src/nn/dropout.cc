@@ -1,0 +1,26 @@
+#include "nn/dropout.h"
+
+namespace lsg {
+
+void Dropout::Forward(std::vector<float>* x, std::vector<float>* mask,
+                      bool train, Rng* rng) const {
+  if (!train || p_ <= 0.f) {
+    if (mask != nullptr) mask->clear();
+    return;
+  }
+  const float keep = 1.f - p_;
+  if (mask != nullptr) mask->resize(x->size());
+  for (size_t i = 0; i < x->size(); ++i) {
+    float m = rng->Bernoulli(keep) ? 1.f / keep : 0.f;
+    (*x)[i] *= m;
+    if (mask != nullptr) (*mask)[i] = m;
+  }
+}
+
+void Dropout::Backward(const std::vector<float>& mask,
+                       std::vector<float>* dx) {
+  if (mask.empty()) return;
+  for (size_t i = 0; i < dx->size(); ++i) (*dx)[i] *= mask[i];
+}
+
+}  // namespace lsg

@@ -1,0 +1,31 @@
+#ifndef LEARNEDSQLGEN_NN_DROPOUT_H_
+#define LEARNEDSQLGEN_NN_DROPOUT_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace lsg {
+
+/// Inverted dropout: at train time each unit is zeroed with probability p
+/// and survivors are scaled by 1/(1-p); at inference it is the identity.
+class Dropout {
+ public:
+  explicit Dropout(float p) : p_(p) {}
+
+  float p() const { return p_; }
+
+  /// Applies dropout in place and records the multiplicative mask.
+  void Forward(std::vector<float>* x, std::vector<float>* mask, bool train,
+               Rng* rng) const;
+
+  /// Routes gradients through the recorded mask.
+  static void Backward(const std::vector<float>& mask, std::vector<float>* dx);
+
+ private:
+  float p_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NN_DROPOUT_H_

@@ -1,0 +1,22 @@
+#include "nn/linear.h"
+
+namespace lsg {
+
+Linear::Linear(int input_dim, int output_dim, Rng* rng)
+    : w_("linear.w", Matrix::Xavier(output_dim, input_dim, rng)),
+      b_("linear.b", Matrix::Zeros(output_dim, 1)) {}
+
+void Linear::Forward(const float* x, float* y) const {
+  MatVec(w_.value, x, y);
+  const float* b = b_.value.data();
+  for (int i = 0; i < w_.value.rows(); ++i) y[i] += b[i];
+}
+
+void Linear::Backward(const float* x, const float* dy, float* dx_or_null) {
+  OuterAccum(&w_.grad, dy, x);
+  float* db = b_.grad.data();
+  for (int i = 0; i < w_.value.rows(); ++i) db[i] += dy[i];
+  if (dx_or_null != nullptr) MatTVecAccum(w_.value, dy, dx_or_null);
+}
+
+}  // namespace lsg

@@ -1,0 +1,34 @@
+#ifndef LEARNEDSQLGEN_NN_LINEAR_H_
+#define LEARNEDSQLGEN_NN_LINEAR_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace lsg {
+
+/// Fully connected layer y = Wx + b with explicit backward.
+class Linear {
+ public:
+  Linear(int input_dim, int output_dim, Rng* rng);
+
+  int input_dim() const { return w_.value.cols(); }
+  int output_dim() const { return w_.value.rows(); }
+
+  /// y must have room for output_dim floats.
+  void Forward(const float* x, float* y) const;
+
+  /// Accumulates parameter gradients and (optionally) input gradients.
+  /// `x` must be the forward input that produced `dy`.
+  void Backward(const float* x, const float* dy, float* dx_or_null);
+
+  std::vector<ParamTensor*> Params() { return {&w_, &b_}; }
+
+ private:
+  ParamTensor w_;
+  ParamTensor b_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NN_LINEAR_H_

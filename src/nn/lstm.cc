@@ -1,0 +1,223 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+namespace {
+inline float Sigmoid(float x) { return 1.f / (1.f + std::exp(-x)); }
+}  // namespace
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_("lstm.wx", Matrix::Xavier(4 * hidden_dim, input_dim, rng)),
+      wh_("lstm.wh", Matrix::Xavier(4 * hidden_dim, hidden_dim, rng)),
+      b_("lstm.b", Matrix::Zeros(4 * hidden_dim, 1)) {
+  // Forget-gate bias init to 1: standard trick for stable early training.
+  for (int i = hidden_dim; i < 2 * hidden_dim; ++i) b_.value.data()[i] = 1.f;
+}
+
+void LstmCell::Gates(const float* pre, Cache* cache) const {
+  const int h = hidden_dim_;
+  cache->i.resize(h);
+  cache->f.resize(h);
+  cache->g.resize(h);
+  cache->o.resize(h);
+  cache->c.resize(h);
+  cache->h.resize(h);
+  for (int k = 0; k < h; ++k) {
+    cache->i[k] = Sigmoid(pre[k]);
+    cache->f[k] = Sigmoid(pre[h + k]);
+    cache->g[k] = std::tanh(pre[2 * h + k]);
+    cache->o[k] = Sigmoid(pre[3 * h + k]);
+    cache->c[k] = cache->f[k] * cache->c_prev[k] + cache->i[k] * cache->g[k];
+    cache->h[k] = cache->o[k] * std::tanh(cache->c[k]);
+  }
+}
+
+void LstmCell::Forward(const float* x, const float* h_prev,
+                       const float* c_prev, Cache* cache) const {
+  cache->onehot = -1;
+  cache->x.assign(x, x + input_dim_);
+  cache->h_prev.assign(h_prev, h_prev + hidden_dim_);
+  cache->c_prev.assign(c_prev, c_prev + hidden_dim_);
+  std::vector<float> pre(4 * hidden_dim_);
+  MatVec(wx_.value, x, pre.data());
+  MatVecAccum(wh_.value, h_prev, pre.data());
+  const float* b = b_.value.data();
+  for (int k = 0; k < 4 * hidden_dim_; ++k) pre[k] += b[k];
+  Gates(pre.data(), cache);
+}
+
+void LstmCell::ForwardOneHot(int idx, const float* h_prev, const float* c_prev,
+                             Cache* cache) const {
+  LSG_DCHECK(idx >= 0 && idx < input_dim_);
+  cache->onehot = idx;
+  cache->x.clear();
+  cache->h_prev.assign(h_prev, h_prev + hidden_dim_);
+  cache->c_prev.assign(c_prev, c_prev + hidden_dim_);
+  std::vector<float> pre(4 * hidden_dim_);
+  // Wx * e_idx = column idx of Wx.
+  for (int k = 0; k < 4 * hidden_dim_; ++k) pre[k] = wx_.value.at(k, idx);
+  MatVecAccum(wh_.value, h_prev, pre.data());
+  const float* b = b_.value.data();
+  for (int k = 0; k < 4 * hidden_dim_; ++k) pre[k] += b[k];
+  Gates(pre.data(), cache);
+}
+
+void LstmCell::Backward(const Cache& cache, const float* dh, const float* dc,
+                        float* dh_prev, float* dc_prev, float* dx_or_null) {
+  const int h = hidden_dim_;
+  std::vector<float> dpre(4 * h);
+  for (int k = 0; k < h; ++k) {
+    const float tc = std::tanh(cache.c[k]);
+    const float do_ = dh[k] * tc;
+    const float dck = dc[k] + dh[k] * cache.o[k] * (1.f - tc * tc);
+    const float di = dck * cache.g[k];
+    const float df = dck * cache.c_prev[k];
+    const float dg = dck * cache.i[k];
+    dc_prev[k] = dck * cache.f[k];
+    dpre[k] = di * cache.i[k] * (1.f - cache.i[k]);
+    dpre[h + k] = df * cache.f[k] * (1.f - cache.f[k]);
+    dpre[2 * h + k] = dg * (1.f - cache.g[k] * cache.g[k]);
+    dpre[3 * h + k] = do_ * cache.o[k] * (1.f - cache.o[k]);
+  }
+  // Parameter gradients.
+  if (cache.onehot >= 0) {
+    for (int k = 0; k < 4 * h; ++k) {
+      wx_.grad.at(k, cache.onehot) += dpre[k];
+    }
+  } else {
+    OuterAccum(&wx_.grad, dpre.data(), cache.x.data());
+    if (dx_or_null != nullptr) {
+      MatTVecAccum(wx_.value, dpre.data(), dx_or_null);
+    }
+  }
+  OuterAccum(&wh_.grad, dpre.data(), cache.h_prev.data());
+  float* db = b_.grad.data();
+  for (int k = 0; k < 4 * h; ++k) db[k] += dpre[k];
+  // Recurrent gradient.
+  for (int k = 0; k < h; ++k) dh_prev[k] = 0.f;
+  MatTVecAccum(wh_.value, dpre.data(), dh_prev);
+}
+
+LstmStack::LstmStack(int input_dim, int hidden_dim, int num_layers,
+                     float dropout, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim), dropout_(dropout) {
+  LSG_CHECK(num_layers >= 1);
+  cells_.reserve(num_layers);
+  cells_.emplace_back(input_dim, hidden_dim, rng);
+  for (int l = 1; l < num_layers; ++l) {
+    cells_.emplace_back(hidden_dim, hidden_dim, rng);
+  }
+}
+
+LstmStack::State LstmStack::InitialState() const {
+  State s;
+  s.h.assign(cells_.size(), std::vector<float>(hidden_dim_, 0.f));
+  s.c.assign(cells_.size(), std::vector<float>(hidden_dim_, 0.f));
+  return s;
+}
+
+const std::vector<float>& LstmStack::Step(int onehot_idx, State* state,
+                                          StepCache* cache, bool train,
+                                          Rng* rng) {
+  return StepImpl(onehot_idx, nullptr, state, cache, train, rng);
+}
+
+const std::vector<float>& LstmStack::StepDense(const float* x, State* state,
+                                               StepCache* cache, bool train,
+                                               Rng* rng) {
+  return StepImpl(-1, x, state, cache, train, rng);
+}
+
+const std::vector<float>& LstmStack::StepImpl(int onehot_idx, const float* x0,
+                                              State* state, StepCache* cache,
+                                              bool train, Rng* rng) {
+  StepCache local;
+  StepCache* sc = cache != nullptr ? cache : &local;
+  sc->layers.resize(cells_.size());
+  sc->dropout_mask.assign(cells_.size(), {});
+
+  std::vector<float> input;
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    LstmCell::Cache& cc = sc->layers[l];
+    if (l == 0) {
+      if (x0 != nullptr) {
+        cells_[0].Forward(x0, state->h[0].data(), state->c[0].data(), &cc);
+      } else {
+        cells_[0].ForwardOneHot(onehot_idx, state->h[0].data(),
+                                state->c[0].data(), &cc);
+      }
+    } else {
+      input = sc->layers[l - 1].h;
+      if (train && dropout_ > 0.f) {
+        std::vector<float>& mask = sc->dropout_mask[l];
+        mask.resize(hidden_dim_);
+        const float keep = 1.f - dropout_;
+        for (int k = 0; k < hidden_dim_; ++k) {
+          mask[k] = rng->Bernoulli(keep) ? 1.f / keep : 0.f;
+          input[k] *= mask[k];
+        }
+      }
+      cells_[l].Forward(input.data(), state->h[l].data(), state->c[l].data(),
+                        &cc);
+    }
+    state->h[l] = cc.h;
+    state->c[l] = cc.c;
+  }
+  return state->h.back();
+}
+
+void LstmStack::Backward(const std::vector<StepCache>& caches,
+                         const std::vector<std::vector<float>>& dtop) {
+  LSG_CHECK(caches.size() == dtop.size());
+  const int L = static_cast<int>(cells_.size());
+  const int T = static_cast<int>(caches.size());
+  // Gradients flowing backward in time, per layer.
+  std::vector<std::vector<float>> dh_time(L, std::vector<float>(hidden_dim_, 0.f));
+  std::vector<std::vector<float>> dc_time(L, std::vector<float>(hidden_dim_, 0.f));
+  std::vector<float> dh(hidden_dim_);
+  std::vector<float> dh_prev(hidden_dim_);
+  std::vector<float> dc_prev(hidden_dim_);
+  std::vector<float> dx(hidden_dim_);
+
+  for (int t = T - 1; t >= 0; --t) {
+    std::vector<float> from_above;  // dx of the layer above at this step
+    for (int l = L - 1; l >= 0; --l) {
+      // Gradient into this layer's h at step t.
+      for (int k = 0; k < hidden_dim_; ++k) dh[k] = dh_time[l][k];
+      if (l == L - 1) {
+        for (int k = 0; k < hidden_dim_; ++k) dh[k] += dtop[t][k];
+      } else {
+        // Input gradient of layer l+1 passes through its dropout mask.
+        const std::vector<float>& mask = caches[t].dropout_mask[l + 1];
+        for (int k = 0; k < hidden_dim_; ++k) {
+          float g = from_above[k];
+          if (!mask.empty()) g *= mask[k];
+          dh[k] += g;
+        }
+      }
+      std::fill(dx.begin(), dx.end(), 0.f);
+      cells_[l].Backward(caches[t].layers[l], dh.data(), dc_time[l].data(),
+                         dh_prev.data(), dc_prev.data(),
+                         l > 0 ? dx.data() : nullptr);
+      dh_time[l] = dh_prev;
+      dc_time[l] = dc_prev;
+      from_above = dx;
+    }
+  }
+}
+
+std::vector<ParamTensor*> LstmStack::Params() {
+  std::vector<ParamTensor*> out;
+  for (LstmCell& c : cells_) {
+    for (ParamTensor* p : c.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lsg

@@ -1,0 +1,111 @@
+#ifndef LEARNEDSQLGEN_NN_LSTM_H_
+#define LEARNEDSQLGEN_NN_LSTM_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace lsg {
+
+/// One LSTM cell with standard gates (input, forget, cell, output). Inputs
+/// may be dense vectors or one-hot indices (the token encoding of §4.1);
+/// the one-hot path touches only a single column of Wx in both passes.
+class LstmCell {
+ public:
+  LstmCell(int input_dim, int hidden_dim, Rng* rng);
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// Per-step activations retained for BPTT.
+  struct Cache {
+    int onehot = -1;               ///< one-hot index, or -1 for dense input
+    std::vector<float> x;          ///< dense input (empty when one-hot)
+    std::vector<float> h_prev, c_prev;
+    std::vector<float> i, f, g, o; ///< post-activation gates
+    std::vector<float> c, h;
+  };
+
+  /// Dense-input step.
+  void Forward(const float* x, const float* h_prev, const float* c_prev,
+               Cache* cache) const;
+
+  /// One-hot-input step (x = e_idx).
+  void ForwardOneHot(int idx, const float* h_prev, const float* c_prev,
+                     Cache* cache) const;
+
+  /// Backward through one step. `dh`/`dc` are gradients flowing into this
+  /// step's outputs; `dh_prev`/`dc_prev` receive (overwrite) gradients for
+  /// the previous step; `dx_or_null` accumulates input gradients (skipped
+  /// for one-hot inputs — tokens are not learnable).
+  void Backward(const Cache& cache, const float* dh, const float* dc,
+                float* dh_prev, float* dc_prev, float* dx_or_null);
+
+  std::vector<ParamTensor*> Params() { return {&wx_, &wh_, &b_}; }
+
+ private:
+  void Gates(const float* pre, Cache* cache) const;
+
+  int input_dim_;
+  int hidden_dim_;
+  ParamTensor wx_;  ///< (4H x In)
+  ParamTensor wh_;  ///< (4H x H)
+  ParamTensor b_;   ///< (4H x 1)
+};
+
+/// A stack of LSTM cells with inverted dropout between layers (the paper:
+/// 2-layer LSTM, 30 cell units, dropout 0.3).
+class LstmStack {
+ public:
+  LstmStack(int input_dim, int hidden_dim, int num_layers, float dropout,
+            Rng* rng);
+
+  int hidden_dim() const { return hidden_dim_; }
+  int num_layers() const { return static_cast<int>(cells_.size()); }
+
+  /// Recurrent state: h and c per layer.
+  struct State {
+    std::vector<std::vector<float>> h, c;
+  };
+
+  /// All caches for one timestep.
+  struct StepCache {
+    std::vector<LstmCell::Cache> layers;
+    std::vector<std::vector<float>> dropout_mask;  ///< per inter-layer link
+  };
+
+  State InitialState() const;
+
+  /// Advances one token. Updates `state` in place; fills `cache` when
+  /// non-null (training); applies dropout only when `train` is true.
+  /// Returns a pointer to the top layer's hidden vector inside `state`.
+  const std::vector<float>& Step(int onehot_idx, State* state,
+                                 StepCache* cache, bool train, Rng* rng);
+
+  /// Dense-input variant (x has input_dim entries). Used when extra
+  /// feature dimensions are appended to the one-hot token encoding
+  /// (the AC-extend baseline of §7.4).
+  const std::vector<float>& StepDense(const float* x, State* state,
+                                      StepCache* cache, bool train, Rng* rng);
+
+  /// Backpropagation through time over a full episode. `dtop[t]` is the
+  /// loss gradient w.r.t. the top-layer hidden state after step t.
+  void Backward(const std::vector<StepCache>& caches,
+                const std::vector<std::vector<float>>& dtop);
+
+  std::vector<ParamTensor*> Params();
+
+ private:
+  const std::vector<float>& StepImpl(int onehot_idx, const float* x0,
+                                     State* state, StepCache* cache,
+                                     bool train, Rng* rng);
+
+  int input_dim_;
+  int hidden_dim_;
+  float dropout_;
+  std::vector<LstmCell> cells_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NN_LSTM_H_

@@ -1,0 +1,144 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+Matrix Matrix::Randn(int rows, int cols, float stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::Xavier(int rows, int cols, Rng* rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(rows + cols));
+  return Randn(rows, cols, stddev, rng);
+}
+
+void MatVec(const Matrix& w, const float* x, float* y) {
+  const int r = w.rows();
+  const int c = w.cols();
+  const float* wd = w.data();
+  for (int i = 0; i < r; ++i) {
+    float acc = 0.f;
+    const float* row = wd + static_cast<size_t>(i) * c;
+    for (int j = 0; j < c; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void MatVecAccum(const Matrix& w, const float* x, float* y) {
+  const int r = w.rows();
+  const int c = w.cols();
+  const float* wd = w.data();
+  for (int i = 0; i < r; ++i) {
+    float acc = 0.f;
+    const float* row = wd + static_cast<size_t>(i) * c;
+    for (int j = 0; j < c; ++j) acc += row[j] * x[j];
+    y[i] += acc;
+  }
+}
+
+void MatTVecAccum(const Matrix& w, const float* dy, float* dx) {
+  const int r = w.rows();
+  const int c = w.cols();
+  const float* wd = w.data();
+  for (int i = 0; i < r; ++i) {
+    const float g = dy[i];
+    if (g == 0.f) continue;
+    const float* row = wd + static_cast<size_t>(i) * c;
+    for (int j = 0; j < c; ++j) dx[j] += row[j] * g;
+  }
+}
+
+void OuterAccum(Matrix* dw, const float* dy, const float* x) {
+  const int r = dw->rows();
+  const int c = dw->cols();
+  float* wd = dw->data();
+  for (int i = 0; i < r; ++i) {
+    const float g = dy[i];
+    if (g == 0.f) continue;
+    float* row = wd + static_cast<size_t>(i) * c;
+    for (int j = 0; j < c; ++j) row[j] += g * x[j];
+  }
+}
+
+void SoftmaxInPlace(std::vector<float>* v) {
+  float mx = -1e30f;
+  for (float x : *v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (float& x : *v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  LSG_CHECK(sum > 0.0);
+  for (float& x : *v) x = static_cast<float>(x / sum);
+}
+
+void MaskedSoftmaxInPlace(std::vector<float>* v,
+                          const std::vector<uint8_t>& mask) {
+  LSG_CHECK(v->size() == mask.size());
+  float mx = -1e30f;
+  bool any = false;
+  for (size_t i = 0; i < v->size(); ++i) {
+    if (mask[i]) {
+      mx = std::max(mx, (*v)[i]);
+      any = true;
+    }
+  }
+  LSG_CHECK(any) << "masked softmax with empty mask";
+  double sum = 0.0;
+  for (size_t i = 0; i < v->size(); ++i) {
+    if (mask[i]) {
+      (*v)[i] = std::exp((*v)[i] - mx);
+      sum += (*v)[i];
+    } else {
+      (*v)[i] = 0.f;
+    }
+  }
+  for (size_t i = 0; i < v->size(); ++i) {
+    (*v)[i] = static_cast<float>((*v)[i] / sum);
+  }
+}
+
+void ParamSnapshot::Save(const std::vector<ParamTensor*>& params) {
+  values_.clear();
+  values_.reserve(params.size());
+  for (const ParamTensor* p : params) values_.push_back(p->value);
+}
+
+bool ParamSnapshot::Restore(const std::vector<ParamTensor*>& params) const {
+  if (values_.empty()) return false;
+  LSG_CHECK(values_.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    LSG_CHECK(values_[i].size() == params[i]->value.size());
+    params[i]->value = values_[i];
+  }
+  return true;
+}
+
+double ClipGradNorm(const std::vector<ParamTensor*>& params, double max_norm) {
+  double sq = 0.0;
+  for (const ParamTensor* p : params) {
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    float scale = static_cast<float>(max_norm / norm);
+    for (ParamTensor* p : params) {
+      float* g = p->grad.data();
+      for (size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace lsg

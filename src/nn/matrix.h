@@ -1,0 +1,101 @@
+#ifndef LEARNEDSQLGEN_NN_MATRIX_H_
+#define LEARNEDSQLGEN_NN_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace lsg {
+
+/// Dense row-major float matrix. The networks here are tiny (2-layer LSTM,
+/// 30 units — the paper's architecture), so simple loops beat any BLAS
+/// setup cost; correctness and clarity win.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), v_(rows * cols, 0.f) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return v_.size(); }
+
+  float& at(int r, int c) { return v_[static_cast<size_t>(r) * cols_ + c]; }
+  const float& at(int r, int c) const {
+    return v_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* data() { return v_.data(); }
+  const float* data() const { return v_.data(); }
+
+  void Zero() { std::fill(v_.begin(), v_.end(), 0.f); }
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+  /// Gaussian init with the given stddev.
+  static Matrix Randn(int rows, int cols, float stddev, Rng* rng);
+
+  /// Xavier/Glorot-scaled init: stddev = sqrt(2 / (fan_in + fan_out)).
+  static Matrix Xavier(int rows, int cols, Rng* rng);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> v_;
+};
+
+/// A learnable tensor: value plus accumulated gradient.
+struct ParamTensor {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  ParamTensor() = default;
+  ParamTensor(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(Matrix::Zeros(value.rows(), value.cols())) {}
+};
+
+/// y = W x  (y: rows, x: cols).
+void MatVec(const Matrix& w, const float* x, float* y);
+
+/// y += W x.
+void MatVecAccum(const Matrix& w, const float* x, float* y);
+
+/// dx += W^T dy.
+void MatTVecAccum(const Matrix& w, const float* dy, float* dx);
+
+/// dW += dy x^T (outer product accumulate).
+void OuterAccum(Matrix* dw, const float* dy, const float* x);
+
+/// Numerically stable in-place softmax.
+void SoftmaxInPlace(std::vector<float>* v);
+
+/// Masked softmax: entries with mask==0 get probability 0. Requires at
+/// least one unmasked entry.
+void MaskedSoftmaxInPlace(std::vector<float>* v,
+                          const std::vector<uint8_t>& mask);
+
+/// Rescales all gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<ParamTensor*>& params, double max_norm);
+
+/// In-memory checkpoint of a parameter set (keep-best-policy snapshots).
+class ParamSnapshot {
+ public:
+  /// Copies the current values.
+  void Save(const std::vector<ParamTensor*>& params);
+
+  /// Writes the saved values back; returns false if nothing was saved.
+  /// Shapes must match the saved set.
+  bool Restore(const std::vector<ParamTensor*>& params) const;
+
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<Matrix> values_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NN_MATRIX_H_

@@ -1,0 +1,24 @@
+#ifndef LEARNEDSQLGEN_NN_SERIALIZE_H_
+#define LEARNEDSQLGEN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace lsg {
+
+/// Writes parameter values to a binary file (magic + per-tensor
+/// name/shape/data). Gradients are not saved.
+Status SaveParams(const std::vector<ParamTensor*>& params,
+                  const std::string& path);
+
+/// Loads parameter values saved by SaveParams. Names and shapes must match
+/// the current parameter set exactly (model architecture is code, not data).
+Status LoadParams(const std::vector<ParamTensor*>& params,
+                  const std::string& path);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NN_SERIALIZE_H_

@@ -1,0 +1,61 @@
+#ifndef LEARNEDSQLGEN_OPTIMIZER_CARDINALITY_ESTIMATOR_H_
+#define LEARNEDSQLGEN_OPTIMIZER_CARDINALITY_ESTIMATOR_H_
+
+#include <memory>
+
+#include "optimizer/column_stats.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace lsg {
+
+/// Breakdown of an estimate used by the cost model: per-stage input sizes.
+struct EstimateDetail {
+  double base_rows = 0;       ///< rows scanned from base tables
+  double join_output = 0;     ///< rows emitted by the join chain
+  double after_where = 0;     ///< rows surviving WHERE
+  double output_rows = 0;     ///< final result rows (groups / 1 / rows)
+  double subquery_cost_rows = 0;  ///< Σ of work inside subqueries
+};
+
+/// Classic System-R style cardinality estimator: per-column histograms,
+/// attribute independence for conjunctions, inclusion-exclusion for
+/// disjunctions, ndv-based join estimation, distinct-product group-by
+/// estimation. This is the "estimated cardinality computed by the cost
+/// estimator of databases" that the paper uses as RL feedback (§3.2:
+/// "Note that we do not use the real cardinality for the efficiency
+/// issue").
+class CardinalityEstimator {
+ public:
+  /// `db` and `stats` must outlive the estimator.
+  CardinalityEstimator(const Database* db, const DatabaseStats* stats);
+
+  /// Estimated result cardinality of any query type (affected rows for DML).
+  double EstimateCardinality(const QueryAst& ast) const;
+
+  /// Estimate for a SELECT with stage-by-stage detail.
+  double EstimateSelect(const SelectQuery& q, EstimateDetail* detail) const;
+
+  /// Estimated selectivity (0..1) of one predicate over the given scope.
+  double PredicateSelectivity(const Predicate& p,
+                              EstimateDetail* detail) const;
+
+  /// Estimated scalar value produced by a scalar subquery's aggregate item
+  /// (MAX -> column max, AVG -> mean, SUM -> mean * rows, COUNT -> rows...).
+  Value EstimateScalar(const SelectQuery& q) const;
+
+  const DatabaseStats& stats() const { return *stats_; }
+
+ private:
+  double WhereSelectivity(const WhereClause& where,
+                          EstimateDetail* detail) const;
+  double JoinChainRows(const std::vector<int>& tables,
+                       EstimateDetail* detail) const;
+
+  const Database* db_;
+  const DatabaseStats* stats_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OPTIMIZER_CARDINALITY_ESTIMATOR_H_

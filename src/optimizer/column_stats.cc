@@ -1,0 +1,177 @@
+#include "optimizer/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+double ColumnStats::EqSelectivity(const Value& v) const {
+  if (row_count == 0 || ndv == 0) return 0.0;
+  const double non_null =
+      static_cast<double>(row_count - null_count) / static_cast<double>(row_count);
+  // MCV hit: exact frequency.
+  for (size_t i = 0; i < mcv_values.size(); ++i) {
+    if (mcv_values[i] == v) return mcv_freqs[i] * non_null;
+  }
+  // Out-of-range numeric constants match nothing.
+  if (v.is_numeric() && IsNumeric(type)) {
+    double x = v.AsNumber();
+    if (x < min || x > max) return 0.0;
+  }
+  // Uniformity over the non-MCV remainder.
+  double mcv_mass = 0.0;
+  for (double f : mcv_freqs) mcv_mass += f;
+  double rest_ndv =
+      static_cast<double>(ndv) - static_cast<double>(mcv_values.size());
+  if (rest_ndv < 1.0) rest_ndv = 1.0;
+  double sel = (1.0 - mcv_mass) / rest_ndv;
+  if (sel < 0.0) sel = 0.0;
+  return sel * non_null;
+}
+
+double ColumnStats::LtSelectivity(const Value& v) const {
+  if (row_count == 0 || ndv == 0) return 0.0;
+  const double non_null =
+      static_cast<double>(row_count - null_count) / static_cast<double>(row_count);
+  if (IsNumeric(type) && v.is_numeric() && histogram_bounds.size() >= 2) {
+    double x = v.AsNumber();
+    if (x <= histogram_bounds.front()) return 0.0;
+    if (x > histogram_bounds.back()) return non_null;
+    // Locate the bucket and interpolate linearly inside it.
+    size_t b = 1;
+    while (b < histogram_bounds.size() && histogram_bounds[b] < x) ++b;
+    if (b >= histogram_bounds.size()) return non_null;
+    double lo = histogram_bounds[b - 1];
+    double hi = histogram_bounds[b];
+    double frac_in_bucket = hi > lo ? (x - lo) / (hi - lo) : 0.5;
+    double buckets = static_cast<double>(histogram_bounds.size() - 1);
+    double sel = (static_cast<double>(b - 1) + frac_in_bucket) / buckets;
+    return std::clamp(sel, 0.0, 1.0) * non_null;
+  }
+  // Non-numeric: rank of v within the MCV list as a coarse CDF.
+  if (!mcv_values.empty()) {
+    double below = 0.0;
+    for (size_t i = 0; i < mcv_values.size(); ++i) {
+      if (mcv_values[i].Compare(v) < 0) below += mcv_freqs[i];
+    }
+    return std::clamp(below, 0.0, 1.0) * non_null;
+  }
+  return 0.33 * non_null;  // default inequality selectivity
+}
+
+double ColumnStats::Selectivity(CompareOp op, const Value& v) const {
+  double eq = EqSelectivity(v);
+  double lt = LtSelectivity(v);
+  const double non_null =
+      row_count == 0
+          ? 0.0
+          : static_cast<double>(row_count - null_count) /
+                static_cast<double>(row_count);
+  double sel = 0.0;
+  switch (op) {
+    case CompareOp::kEq:
+      sel = eq;
+      break;
+    case CompareOp::kNe:
+      sel = non_null - eq;
+      break;
+    case CompareOp::kLt:
+      sel = lt;
+      break;
+    case CompareOp::kLe:
+      sel = lt + eq;
+      break;
+    case CompareOp::kGt:
+      sel = non_null - lt - eq;
+      break;
+    case CompareOp::kGe:
+      sel = non_null - lt;
+      break;
+    case CompareOp::kNumOps:
+      break;
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+ColumnStats StatsCollector::Analyze(const Column& column) const {
+  ColumnStats s;
+  s.type = column.type();
+  s.row_count = column.size();
+  s.null_count = column.size() - column.CountNonNull();
+
+  std::vector<Value> distinct = column.DistinctValues();
+  s.ndv = distinct.size();
+  if (distinct.empty()) return s;
+
+  // Frequency map for MCVs.
+  std::unordered_map<Value, uint64_t, ValueHash> freq;
+  freq.reserve(s.ndv);
+  std::vector<double> numeric;
+  numeric.reserve(column.size());
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (column.IsNull(r)) continue;
+    Value v = column.GetValue(r);
+    ++freq[v];
+    if (v.is_numeric()) numeric.push_back(v.AsNumber());
+  }
+  const double non_null_rows = static_cast<double>(column.size() - s.null_count);
+
+  if (!numeric.empty()) {
+    std::sort(numeric.begin(), numeric.end());
+    s.min = numeric.front();
+    s.max = numeric.back();
+    double sum = 0.0;
+    for (double x : numeric) sum += x;
+    s.mean = sum / static_cast<double>(numeric.size());
+    // Equi-depth histogram over the sorted values.
+    int buckets = histogram_buckets_;
+    if (static_cast<size_t>(buckets) > numeric.size()) {
+      buckets = static_cast<int>(numeric.size());
+    }
+    if (buckets >= 1) {
+      s.histogram_bounds.resize(buckets + 1);
+      for (int b = 0; b <= buckets; ++b) {
+        size_t idx = static_cast<size_t>(
+            std::min<double>(static_cast<double>(numeric.size() - 1),
+                             std::round(static_cast<double>(b) *
+                                        static_cast<double>(numeric.size() - 1) /
+                                        static_cast<double>(buckets))));
+        s.histogram_bounds[b] = numeric[idx];
+      }
+    }
+  }
+
+  // MCV list: top-k by frequency (always useful for eq selectivity; for
+  // categoricals it is the primary statistic).
+  std::vector<std::pair<Value, uint64_t>> by_freq(freq.begin(), freq.end());
+  std::sort(by_freq.begin(), by_freq.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  size_t k = std::min<size_t>(mcv_size_, by_freq.size());
+  for (size_t i = 0; i < k; ++i) {
+    s.mcv_values.push_back(by_freq[i].first);
+    s.mcv_freqs.push_back(static_cast<double>(by_freq[i].second) /
+                          non_null_rows);
+  }
+  return s;
+}
+
+DatabaseStats DatabaseStats::Collect(const Database& db,
+                                     const StatsCollector& collector) {
+  DatabaseStats stats;
+  stats.columns.resize(db.num_tables());
+  stats.table_rows.resize(db.num_tables());
+  for (size_t ti = 0; ti < db.num_tables(); ++ti) {
+    const Table& t = db.tables()[ti];
+    stats.table_rows[ti] = t.num_rows();
+    stats.columns[ti].reserve(t.num_columns());
+    for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+      stats.columns[ti].push_back(collector.Analyze(t.column(ci)));
+    }
+  }
+  return stats;
+}
+
+}  // namespace lsg

@@ -1,0 +1,75 @@
+#ifndef LEARNEDSQLGEN_OPTIMIZER_COLUMN_STATS_H_
+#define LEARNEDSQLGEN_OPTIMIZER_COLUMN_STATS_H_
+
+#include <vector>
+
+#include "catalog/value.h"
+#include "sql/token.h"
+#include "storage/table.h"
+
+namespace lsg {
+
+/// Per-column statistics in the style of a DBMS ANALYZE pass: row/null/ndv
+/// counts, numeric min/max/mean, an equi-depth histogram for numeric
+/// columns and a most-common-values list for categorical/string columns.
+struct ColumnStats {
+  DataType type = DataType::kInt64;
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+  uint64_t ndv = 0;  ///< number of distinct non-NULL values
+
+  // Numeric summary (valid when type is numeric and ndv > 0).
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  /// Equi-depth histogram bounds: bounds[i]..bounds[i+1] holds ~1/B of the
+  /// non-NULL rows. Size B+1 (empty for non-numeric columns).
+  std::vector<double> histogram_bounds;
+
+  /// Most common values with frequencies (fraction of non-NULL rows);
+  /// populated for categorical/string columns (and small-ndv numerics).
+  std::vector<Value> mcv_values;
+  std::vector<double> mcv_freqs;
+
+  /// Fraction of non-NULL rows equal to `v`.
+  double EqSelectivity(const Value& v) const;
+
+  /// Fraction of non-NULL rows strictly less than `v` (numeric only; for
+  /// non-numerics falls back to a rank estimate over the MCV list).
+  double LtSelectivity(const Value& v) const;
+
+  /// Selectivity of `col op v` over all rows (NULLs never match).
+  double Selectivity(CompareOp op, const Value& v) const;
+};
+
+/// ANALYZE: builds stats for every column of every table.
+class StatsCollector {
+ public:
+  explicit StatsCollector(int histogram_buckets = 64, int mcv_size = 32)
+      : histogram_buckets_(histogram_buckets), mcv_size_(mcv_size) {}
+
+  ColumnStats Analyze(const Column& column) const;
+
+ private:
+  int histogram_buckets_;
+  int mcv_size_;
+};
+
+/// All statistics for a database, indexed [table][column].
+struct DatabaseStats {
+  std::vector<std::vector<ColumnStats>> columns;
+  std::vector<uint64_t> table_rows;
+
+  const ColumnStats& at(const ColumnRef& ref) const {
+    return columns[ref.table_idx][ref.column_idx];
+  }
+
+  /// Runs ANALYZE over the whole database.
+  static DatabaseStats Collect(const Database& db,
+                               const StatsCollector& collector = StatsCollector());
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OPTIMIZER_COLUMN_STATS_H_

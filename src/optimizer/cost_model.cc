@@ -1,0 +1,101 @@
+#include "optimizer/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+CostModel::CostModel(const CardinalityEstimator* estimator,
+                     CostConstants constants)
+    : estimator_(estimator), constants_(constants) {
+  LSG_CHECK(estimator != nullptr);
+}
+
+double CostModel::CostFromDetail(const EstimateDetail& d, int num_predicates,
+                                 int num_joins, bool has_group,
+                                 bool has_order) const {
+  const CostConstants& c = constants_;
+  double cost = 0.0;
+  // Sequential scans: IO pages + per-tuple CPU.
+  cost += d.base_rows / c.rows_per_page * c.seq_page_cost;
+  cost += d.base_rows * c.cpu_tuple_cost;
+  // Hash joins: builds and probes approximated from the chain totals.
+  if (num_joins > 0) {
+    cost += d.base_rows * c.hash_build_cost_per_row;
+    cost += d.join_output * c.hash_probe_cost_per_row;
+  }
+  // Predicate evaluation over the joined stream.
+  cost += d.join_output * c.cpu_operator_cost *
+          static_cast<double>(std::max(1, num_predicates));
+  // Grouping.
+  if (has_group) cost += d.after_where * c.group_cost_per_row;
+  // Sorting (ORDER BY): n log n comparisons over the output.
+  if (has_order && d.output_rows > 1.0) {
+    cost += d.output_rows * std::log2(d.output_rows + 1.0) *
+            c.cpu_operator_cost;
+  }
+  // Output materialization.
+  cost += d.output_rows * c.cpu_tuple_cost;
+  // Subquery work (already row-denominated).
+  cost += d.subquery_cost_rows *
+          (c.cpu_tuple_cost + c.seq_page_cost / c.rows_per_page);
+  return cost;
+}
+
+double CostModel::SelectCost(const SelectQuery& q) const {
+  EstimateDetail d;
+  estimator_->EstimateSelect(q, &d);
+  return CostFromDetail(d, q.TotalPredicates(), q.NumJoins(),
+                        !q.group_by.empty(), !q.order_by.empty());
+}
+
+double CostModel::EstimateCost(const QueryAst& ast) const {
+  const CostConstants& c = constants_;
+  switch (ast.type) {
+    case QueryType::kSelect:
+      if (ast.select == nullptr) return 0.0;
+      return SelectCost(*ast.select);
+    case QueryType::kInsert: {
+      if (ast.insert == nullptr) return 0.0;
+      if (ast.insert->source != nullptr) {
+        double src_cost = SelectCost(*ast.insert->source);
+        double rows = estimator_->EstimateSelect(*ast.insert->source, nullptr);
+        return src_cost + rows * c.dml_write_cost_per_row;
+      }
+      return c.cpu_tuple_cost + c.dml_write_cost_per_row;
+    }
+    case QueryType::kUpdate: {
+      if (ast.update == nullptr) return 0.0;
+      double table_rows = static_cast<double>(
+          estimator_->stats().table_rows[ast.update->table_idx]);
+      double affected = estimator_->EstimateCardinality(ast);
+      double scan = table_rows / c.rows_per_page * c.seq_page_cost +
+                    table_rows * c.cpu_tuple_cost;
+      return scan + affected * c.dml_write_cost_per_row;
+    }
+    case QueryType::kDelete: {
+      if (ast.del == nullptr) return 0.0;
+      double table_rows = static_cast<double>(
+          estimator_->stats().table_rows[ast.del->table_idx]);
+      double affected = estimator_->EstimateCardinality(ast);
+      double scan = table_rows / c.rows_per_page * c.seq_page_cost +
+                    table_rows * c.cpu_tuple_cost;
+      return scan + affected * c.dml_write_cost_per_row;
+    }
+  }
+  return 0.0;
+}
+
+double CostModel::TrueCost(const ExecStats& stats, double output_rows) const {
+  const CostConstants& c = constants_;
+  double cost = 0.0;
+  cost += stats.rows_scanned / c.rows_per_page * c.seq_page_cost;
+  cost += stats.rows_scanned * c.cpu_tuple_cost;
+  cost += stats.rows_joined *
+          (c.hash_build_cost_per_row + c.hash_probe_cost_per_row);
+  cost += output_rows * c.cpu_tuple_cost;
+  return cost;
+}
+
+}  // namespace lsg

@@ -1,0 +1,92 @@
+#include "optimizer/explain.h"
+
+#include "common/string_util.h"
+#include "sql/render.h"
+
+namespace lsg {
+namespace {
+
+void ExplainSelect(const SelectQuery& q, const Catalog& catalog,
+                   const CardinalityEstimator& est, const CostModel& cost,
+                   int indent, std::string* out) {
+  const std::string pad(indent * 2, ' ');
+  EstimateDetail d;
+  double rows = est.EstimateSelect(q, &d);
+  out->append(pad +
+              StrFormat("Select  (est rows=%.1f, est cost=%.1f)\n", rows,
+                        cost.SelectCost(q)));
+  for (size_t i = 0; i < q.tables.size(); ++i) {
+    const std::string& name = catalog.table(q.tables[i]).name();
+    if (i == 0) {
+      out->append(pad + "  Scan " + name + "\n");
+    } else {
+      out->append(pad + "  HashJoin " + name + "\n");
+    }
+  }
+  if (d.join_output > 0 && q.tables.size() > 1) {
+    out->append(pad + StrFormat("  (join output est rows=%.1f)\n",
+                                d.join_output));
+  }
+  if (!q.where.empty()) {
+    out->append(pad + StrFormat("  Filter: %zu predicate(s)  (est rows=%.1f)\n",
+                                q.where.predicates.size(), d.after_where));
+    for (const Predicate& p : q.where.predicates) {
+      if (p.subquery != nullptr) {
+        out->append(pad + "    Subquery:\n");
+        ExplainSelect(*p.subquery, catalog, est, cost, indent + 3, out);
+      }
+    }
+  }
+  if (!q.group_by.empty()) {
+    out->append(pad + StrFormat("  GroupBy: %zu column(s)%s\n",
+                                q.group_by.size(),
+                                q.having.has_value() ? " + HAVING" : ""));
+  }
+  if (!q.order_by.empty()) {
+    out->append(pad + StrFormat("  Sort: %zu column(s)\n", q.order_by.size()));
+  }
+  out->append(pad + StrFormat("  Output: %zu column(s)  (est rows=%.1f)\n",
+                              q.items.size(), d.output_rows));
+}
+
+}  // namespace
+
+std::string Explain(const QueryAst& ast, const Catalog& catalog,
+                    const CardinalityEstimator& estimator,
+                    const CostModel& cost_model) {
+  std::string out;
+  out += "-- " + RenderSql(ast, catalog) + "\n";
+  switch (ast.type) {
+    case QueryType::kSelect:
+      if (ast.select != nullptr) {
+        ExplainSelect(*ast.select, catalog, estimator, cost_model, 0, &out);
+      }
+      break;
+    case QueryType::kInsert:
+      out += StrFormat("Insert into %s  (est rows=%.1f, est cost=%.1f)\n",
+                       catalog.table(ast.insert->table_idx).name().c_str(),
+                       estimator.EstimateCardinality(ast),
+                       cost_model.EstimateCost(ast));
+      if (ast.insert->source != nullptr) {
+        out += "  Source:\n";
+        ExplainSelect(*ast.insert->source, catalog, estimator, cost_model, 2,
+                      &out);
+      }
+      break;
+    case QueryType::kUpdate:
+      out += StrFormat("Update %s  (est rows=%.1f, est cost=%.1f)\n",
+                       catalog.table(ast.update->table_idx).name().c_str(),
+                       estimator.EstimateCardinality(ast),
+                       cost_model.EstimateCost(ast));
+      break;
+    case QueryType::kDelete:
+      out += StrFormat("Delete from %s  (est rows=%.1f, est cost=%.1f)\n",
+                       catalog.table(ast.del->table_idx).name().c_str(),
+                       estimator.EstimateCardinality(ast),
+                       cost_model.EstimateCost(ast));
+      break;
+  }
+  return out;
+}
+
+}  // namespace lsg

@@ -1,0 +1,28 @@
+#ifndef LEARNEDSQLGEN_OPTIMIZER_EXPLAIN_H_
+#define LEARNEDSQLGEN_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "optimizer/cardinality_estimator.h"
+#include "optimizer/cost_model.h"
+#include "sql/ast.h"
+
+namespace lsg {
+
+/// EXPLAIN-style plan rendering with the estimator's per-stage row counts
+/// and the cost model's totals — the inspection tool a user reaches for
+/// when a generated query's estimated metric looks surprising.
+///
+/// Example output:
+///   Select  (est rows=30, est cost=4.1)
+///     Scan lineitem  (rows=3000)
+///     HashJoin orders  (est rows=3000)
+///     Filter: 1 predicate(s)  (est rows=30)
+///     Output: 2 column(s)
+std::string Explain(const QueryAst& ast, const Catalog& catalog,
+                    const CardinalityEstimator& estimator,
+                    const CostModel& cost_model);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OPTIMIZER_EXPLAIN_H_

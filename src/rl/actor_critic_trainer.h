@@ -1,0 +1,63 @@
+#ifndef LEARNEDSQLGEN_RL_ACTOR_CRITIC_TRAINER_H_
+#define LEARNEDSQLGEN_RL_ACTOR_CRITIC_TRAINER_H_
+
+#include <memory>
+
+#include "nn/adam.h"
+#include "rl/reinforce_trainer.h"
+#include "rl/value_network.h"
+
+namespace lsg {
+
+/// The paper's main trainer (§4.3, Algorithm 3): actor-critic with TD(0)
+/// advantage A(s_t, a_t) = r_t + V(s_{t+1}) − V(s_t) and entropy
+/// regularization. The critic's V value is the variance-reducing baseline.
+class ActorCriticTrainer {
+ public:
+  ActorCriticTrainer(Environment* env, const TrainerOptions& options);
+
+  /// Runs one batch of episodes and applies one update to both networks.
+  StatusOr<EpochStats> TrainEpoch();
+
+  /// Inference: generates one query with the current policy.
+  StatusOr<Trajectory> Generate();
+
+  /// Rolls the actor back to its best checkpoint (keep_best_actor).
+  bool RestoreBestActor();
+
+  PolicyNetwork& actor() { return *actor_; }
+  ValueNetwork& critic() { return *critic_; }
+  const TrainerOptions& options() const { return options_; }
+
+  /// Per-episode constraint features for the AC-extend baseline; empty for
+  /// the standard model. Copied into both networks' episodes.
+  void set_extra_features(std::vector<float> extra) {
+    extra_ = std::move(extra);
+  }
+
+  /// Swaps the environment (AC-extend trains one network across multiple
+  /// constraint tasks, each with its own environment). The vocab size must
+  /// match the construction-time environment.
+  void set_environment(Environment* env) { env_ = env; }
+
+ private:
+  /// One training episode: rolls out actor and critic in lockstep.
+  StatusOr<Trajectory> RolloutWithCritic(PolicyNetwork::Episode* actor_ep,
+                                         ValueNetwork::Episode* critic_ep,
+                                         bool train);
+
+  Environment* env_;
+  TrainerOptions options_;
+  Rng rng_;
+  std::unique_ptr<PolicyNetwork> actor_;
+  std::unique_ptr<ValueNetwork> critic_;
+  std::unique_ptr<Adam> actor_opt_;
+  std::unique_ptr<Adam> critic_opt_;
+  std::vector<float> extra_;
+  ParamSnapshot best_actor_;
+  double best_score_ = -1.0;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_RL_ACTOR_CRITIC_TRAINER_H_

@@ -1,0 +1,134 @@
+#include "rl/policy_network.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+PolicyNetwork::PolicyNetwork(int vocab_size, const NetworkOptions& options)
+    : vocab_size_(vocab_size),
+      options_(options),
+      rng_(options.seed),
+      lstm_(vocab_size + 1 + options.extra_input_dims, options.hidden_dim,
+            options.num_layers, options.dropout, &rng_),
+      head_(options.hidden_dim, vocab_size, &rng_) {}
+
+PolicyNetwork::Episode PolicyNetwork::BeginEpisode(bool train) const {
+  Episode ep;
+  ep.state = lstm_.InitialState();
+  ep.train = train;
+  return ep;
+}
+
+const std::vector<float>& PolicyNetwork::NextDistribution(
+    Episode* ep, const std::vector<uint8_t>& mask) {
+  const int prev =
+      ep->actions.empty() ? bos_index() : ep->actions.back();
+  LstmStack::StepCache* cache = nullptr;
+  if (ep->train) {
+    ep->caches.emplace_back();
+    cache = &ep->caches.back();
+  }
+  const std::vector<float>* top;
+  if (options_.extra_input_dims > 0) {
+    // Dense input: one-hot + constraint feature tail.
+    std::vector<float> x(vocab_size_ + 1 + options_.extra_input_dims, 0.f);
+    x[prev] = 1.f;
+    for (int i = 0; i < options_.extra_input_dims &&
+                    i < static_cast<int>(ep->extra.size()); ++i) {
+      x[vocab_size_ + 1 + i] = ep->extra[i];
+    }
+    top = &lstm_.StepDense(x.data(), &ep->state, cache, ep->train, &rng_);
+  } else {
+    top = &lstm_.Step(prev, &ep->state, cache, ep->train, &rng_);
+  }
+  std::vector<float> logits(vocab_size_);
+  head_.Forward(top->data(), logits.data());
+  MaskedSoftmaxInPlace(&logits, mask);
+  ep->probs.push_back(std::move(logits));
+  ep->masks.push_back(mask);
+  return ep->probs.back();
+}
+
+int PolicyNetwork::SampleAction(const std::vector<float>& probs,
+                                Rng* rng) const {
+  std::vector<double> w(probs.begin(), probs.end());
+  size_t idx = rng->Categorical(w);
+  if (idx >= probs.size()) {
+    // All-zero guard (cannot happen with a valid mask): fall back to argmax.
+    return GreedyAction(probs);
+  }
+  return static_cast<int>(idx);
+}
+
+int PolicyNetwork::GreedyAction(const std::vector<float>& probs) const {
+  int best = 0;
+  for (size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+void PolicyNetwork::AccumulateGradients(const Episode& ep,
+                                        const std::vector<double>& advantages,
+                                        double entropy_coef) {
+  LSG_CHECK(ep.train);
+  const size_t T = ep.actions.size();
+  LSG_CHECK(advantages.size() == T);
+  LSG_CHECK(ep.caches.size() == T && ep.probs.size() == T);
+
+  std::vector<std::vector<float>> dtop(
+      T, std::vector<float>(options_.hidden_dim, 0.f));
+  std::vector<float> dlogits(vocab_size_);
+  for (size_t t = 0; t < T; ++t) {
+    const std::vector<float>& p = ep.probs[t];
+    const std::vector<uint8_t>& mask = ep.masks[t];
+    const int a = ep.actions[t];
+    const float adv = static_cast<float>(advantages[t]);
+
+    // Entropy of the masked distribution.
+    float entropy = 0.f;
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (mask[i] && p[i] > 0.f) entropy -= p[i] * std::log(p[i]);
+    }
+
+    // dL/dz_i for L = -(A log π(a) + λ H).
+    for (int i = 0; i < vocab_size_; ++i) {
+      if (!mask[i]) {
+        dlogits[i] = 0.f;
+        continue;
+      }
+      float g = adv * (p[i] - (i == a ? 1.f : 0.f));
+      if (entropy_coef > 0.0 && p[i] > 0.f) {
+        g += static_cast<float>(entropy_coef) * p[i] *
+             (std::log(p[i]) + entropy);
+      }
+      dlogits[i] = g;
+    }
+    const std::vector<float>& top_h = ep.caches[t].layers.back().h;
+    head_.Backward(top_h.data(), dlogits.data(), dtop[t].data());
+  }
+  lstm_.Backward(ep.caches, dtop);
+}
+
+double PolicyNetwork::MeanEntropy(const Episode& ep) {
+  if (ep.probs.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::vector<float>& p : ep.probs) {
+    double h = 0.0;
+    for (float x : p) {
+      if (x > 0.f) h -= x * std::log(x);
+    }
+    total += h;
+  }
+  return total / static_cast<double>(ep.probs.size());
+}
+
+std::vector<ParamTensor*> PolicyNetwork::Params() {
+  std::vector<ParamTensor*> out = lstm_.Params();
+  for (ParamTensor* p : head_.Params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace lsg

@@ -1,0 +1,85 @@
+#ifndef LEARNEDSQLGEN_RL_POLICY_NETWORK_H_
+#define LEARNEDSQLGEN_RL_POLICY_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace lsg {
+
+/// Shared architecture knobs for the actor and critic (paper §7.1: 2-layer
+/// LSTM with 30 cell units, dropout 0.3, lr 1e-3 actor / 3e-3 critic).
+struct NetworkOptions {
+  int hidden_dim = 30;
+  int num_layers = 2;
+  float dropout = 0.3f;
+  uint64_t seed = 7;
+  /// Extra dense input dims appended after the one-hot token (AC-extend
+  /// encodes the constraint bounds this way; 0 for the standard model).
+  int extra_input_dims = 0;
+};
+
+/// The actor: one-hot token sequence -> LSTM stack -> Linear(|A|) ->
+/// FSM-masked softmax policy π_θ(a|s) (paper §4.3).
+class PolicyNetwork {
+ public:
+  PolicyNetwork(int vocab_size, const NetworkOptions& options);
+
+  int vocab_size() const { return vocab_size_; }
+  /// Input index used for the beginning-of-sequence step.
+  int bos_index() const { return vocab_size_; }
+
+  /// Per-episode rollout state; holds everything needed for BPTT.
+  struct Episode {
+    LstmStack::State state;
+    std::vector<LstmStack::StepCache> caches;
+    std::vector<std::vector<float>> probs;       ///< masked π per step
+    std::vector<std::vector<uint8_t>> masks;
+    std::vector<int> actions;
+    std::vector<float> extra;                    ///< dense constraint dims
+    bool train = false;
+  };
+
+  Episode BeginEpisode(bool train) const;
+
+  /// Advances the LSTM over the previous action (BOS on the first call) and
+  /// returns the masked action distribution for the next step. The returned
+  /// reference lives in `ep` until the next call.
+  const std::vector<float>& NextDistribution(Episode* ep,
+                                             const std::vector<uint8_t>& mask);
+
+  /// Records the sampled action (must follow NextDistribution).
+  void RecordAction(Episode* ep, int action) const { ep->actions.push_back(action); }
+
+  /// Samples from a distribution.
+  int SampleAction(const std::vector<float>& probs, Rng* rng) const;
+
+  /// Arg-max action (greedy decoding).
+  int GreedyAction(const std::vector<float>& probs) const;
+
+  /// Accumulates policy-gradient + entropy-regularization gradients for a
+  /// finished episode: maximizes Σ_t [A_t log π(a_t|s_t) + λ H(π(·|s_t))]
+  /// (Eq. 4). Call optimizer Step() afterwards.
+  void AccumulateGradients(const Episode& ep,
+                           const std::vector<double>& advantages,
+                           double entropy_coef);
+
+  /// Mean policy entropy over the episode's steps (diagnostics).
+  static double MeanEntropy(const Episode& ep);
+
+  std::vector<ParamTensor*> Params();
+
+ private:
+  int vocab_size_;
+  NetworkOptions options_;
+  Rng rng_;
+  LstmStack lstm_;
+  Linear head_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_RL_POLICY_NETWORK_H_

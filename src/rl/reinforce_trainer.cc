@@ -1,0 +1,119 @@
+#include "rl/reinforce_trainer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+void NormalizeAdvantages(std::vector<std::vector<double>>* adv) {
+  size_t n = 0;
+  double sum = 0.0;
+  for (const auto& a : *adv) {
+    for (double v : a) {
+      sum += v;
+      ++n;
+    }
+  }
+  if (n < 2) return;
+  double mean = sum / static_cast<double>(n);
+  double sq = 0.0;
+  for (const auto& a : *adv) {
+    for (double v : a) sq += (v - mean) * (v - mean);
+  }
+  double stddev = std::sqrt(sq / static_cast<double>(n));
+  if (stddev < 1e-8) return;
+  for (auto& a : *adv) {
+    for (double& v : a) v = (v - mean) / stddev;
+  }
+}
+
+StatusOr<Trajectory> RolloutPolicy(Environment* env, PolicyNetwork* actor,
+                                   Rng* rng, bool train,
+                                   PolicyNetwork::Episode* ep_out) {
+  env->Reset();
+  PolicyNetwork::Episode ep = actor->BeginEpisode(train);
+  Trajectory traj;
+  // Hard step cap: the FSM guarantees termination well before this.
+  const int kMaxSteps = 512;
+  for (int step = 0; step < kMaxSteps; ++step) {
+    const std::vector<uint8_t>& mask = env->ValidActions();
+    const std::vector<float>& probs = actor->NextDistribution(&ep, mask);
+    int a = actor->SampleAction(probs, rng);
+    actor->RecordAction(&ep, a);
+    auto sr = env->Step(a);
+    if (!sr.ok()) return sr.status();
+    traj.actions.push_back(a);
+    traj.rewards.push_back(sr->reward);
+    if (sr->done) {
+      traj.completed = true;
+      traj.satisfied = sr->satisfied;
+      traj.final_metric = sr->metric;
+      traj.ast = env->TakeAst();
+      break;
+    }
+  }
+  if (!traj.completed) {
+    return Status::Internal("episode exceeded the hard step cap");
+  }
+  if (ep_out != nullptr) *ep_out = std::move(ep);
+  return traj;
+}
+
+ReinforceTrainer::ReinforceTrainer(Environment* env,
+                                   const TrainerOptions& options)
+    : env_(env), options_(options), rng_(options.seed) {
+  LSG_CHECK(env != nullptr);
+  NetworkOptions net = options.net;
+  net.seed = options.seed;
+  actor_ = std::make_unique<PolicyNetwork>(env->vocab_size(), net);
+  actor_opt_ = std::make_unique<Adam>(actor_->Params(), options.actor_lr);
+}
+
+StatusOr<EpochStats> ReinforceTrainer::TrainEpoch() {
+  EpochStats stats;
+  std::vector<PolicyNetwork::Episode> episodes(options_.batch_size);
+  std::vector<std::vector<double>> advantages(options_.batch_size);
+  for (int b = 0; b < options_.batch_size; ++b) {
+    auto traj =
+        RolloutPolicy(env_, actor_.get(), &rng_, /*train=*/true, &episodes[b]);
+    if (!traj.ok()) return traj.status();
+    advantages[b] = traj->RewardToGo();
+    stats.episodes += 1;
+    stats.mean_total_reward += traj->TotalReward();
+    stats.mean_final_reward +=
+        traj->rewards.empty() ? 0.0 : traj->rewards.back();
+    stats.mean_entropy += PolicyNetwork::MeanEntropy(episodes[b]);
+    stats.satisfied_frac += traj->satisfied ? 1.0 : 0.0;
+  }
+  if (options_.normalize_advantages) NormalizeAdvantages(&advantages);
+  for (int b = 0; b < options_.batch_size; ++b) {
+    actor_->AccumulateGradients(episodes[b], advantages[b],
+                                options_.entropy_coef);
+  }
+  ClipGradNorm(actor_->Params(), options_.grad_clip);
+  actor_opt_->Step();
+  const double n = static_cast<double>(stats.episodes);
+  stats.mean_total_reward /= n;
+  stats.mean_final_reward /= n;
+  stats.mean_entropy /= n;
+  stats.satisfied_frac /= n;
+  if (options_.keep_best_actor) {
+    double score = stats.satisfied_frac + 0.01 * stats.mean_final_reward;
+    if (score > best_score_) {
+      best_score_ = score;
+      best_actor_.Save(actor_->Params());
+    }
+  }
+  return stats;
+}
+
+bool ReinforceTrainer::RestoreBestActor() {
+  return best_actor_.Restore(actor_->Params());
+}
+
+StatusOr<Trajectory> ReinforceTrainer::Generate() {
+  return RolloutPolicy(env_, actor_.get(), &rng_, /*train=*/false, nullptr);
+}
+
+}  // namespace lsg

@@ -1,0 +1,83 @@
+#ifndef LEARNEDSQLGEN_RL_REINFORCE_TRAINER_H_
+#define LEARNEDSQLGEN_RL_REINFORCE_TRAINER_H_
+
+#include <memory>
+
+#include "nn/adam.h"
+#include "rl/policy_network.h"
+#include "rl/trajectory.h"
+
+namespace lsg {
+
+/// Hyper-parameters shared by the RL trainers (paper §7.1 defaults).
+struct TrainerOptions {
+  int batch_size = 8;          ///< trajectories per update (Algorithm 3 l.3)
+  double entropy_coef = 0.01;  ///< λ of Eq. 4
+  float actor_lr = 1e-3f;
+  float critic_lr = 3e-3f;
+  double grad_clip = 5.0;
+  /// Standardize advantages across each batch before the actor update
+  /// (mean 0, stddev 1). An implementation detail on top of the paper's
+  /// Algorithm 3 that markedly stabilizes training (see DESIGN.md).
+  bool normalize_advantages = true;
+  /// Snapshot the actor whenever an epoch achieves the best satisfied
+  /// fraction so far; RestoreBestActor() rolls back to it before
+  /// inference. Guards against late-training policy collapse.
+  bool keep_best_actor = true;
+  uint64_t seed = 1234;
+  NetworkOptions net;
+};
+
+/// Standardizes `adv` in place across all steps of a batch (no-op for
+/// fewer than two entries or zero variance).
+void NormalizeAdvantages(std::vector<std::vector<double>>* adv);
+
+/// Aggregates over one training epoch (= one batch update).
+struct EpochStats {
+  int episodes = 0;
+  double mean_total_reward = 0.0;  ///< mean Σ_t r_t per trajectory
+  double mean_final_reward = 0.0;  ///< mean reward of the completed query
+  double mean_entropy = 0.0;
+  double satisfied_frac = 0.0;     ///< fraction of episodes meeting C
+};
+
+/// Samples one episode with the policy against the environment. When
+/// `train` is true the actor episode (with caches) is stored into `ep_out`.
+StatusOr<Trajectory> RolloutPolicy(Environment* env, PolicyNetwork* actor,
+                                   Rng* rng, bool train,
+                                   PolicyNetwork::Episode* ep_out);
+
+/// Plain REINFORCE (Williams 1992) with reward-to-go coefficients and no
+/// baseline — the comparison algorithm of §7.3 / Figure 8. Entropy
+/// regularization matches the actor-critic setup so the only difference is
+/// the missing critic baseline.
+class ReinforceTrainer {
+ public:
+  ReinforceTrainer(Environment* env, const TrainerOptions& options);
+
+  /// Runs one batch of episodes and applies one gradient update.
+  StatusOr<EpochStats> TrainEpoch();
+
+  /// Inference: generates one query with the current policy (no learning).
+  StatusOr<Trajectory> Generate();
+
+  /// Rolls the actor back to its best checkpoint (keep_best_actor).
+  /// Returns false if no checkpoint exists yet.
+  bool RestoreBestActor();
+
+  PolicyNetwork& actor() { return *actor_; }
+  const TrainerOptions& options() const { return options_; }
+
+ private:
+  Environment* env_;
+  TrainerOptions options_;
+  Rng rng_;
+  std::unique_ptr<PolicyNetwork> actor_;
+  std::unique_ptr<Adam> actor_opt_;
+  ParamSnapshot best_actor_;
+  double best_score_ = -1.0;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_RL_REINFORCE_TRAINER_H_

@@ -1,0 +1,65 @@
+#include "rl/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lsg {
+
+Constraint Constraint::Point(ConstraintMetric metric, double c) {
+  Constraint out;
+  out.metric = metric;
+  out.kind = ConstraintKind::kPoint;
+  out.point = c;
+  return out;
+}
+
+Constraint Constraint::Range(ConstraintMetric metric, double lo, double hi) {
+  LSG_CHECK(lo <= hi);
+  Constraint out;
+  out.metric = metric;
+  out.kind = ConstraintKind::kRange;
+  out.lo = lo;
+  out.hi = hi;
+  return out;
+}
+
+bool Constraint::Satisfied(double v) const {
+  if (kind == ConstraintKind::kPoint) {
+    double tau = point_tolerance * point;
+    return v >= point - tau && v <= point + tau;
+  }
+  return v >= lo && v <= hi;
+}
+
+std::string Constraint::ToString() const {
+  const char* m = metric == ConstraintMetric::kCardinality ? "Card" : "Cost";
+  if (kind == ConstraintKind::kPoint) {
+    return StrFormat("%s=%s", m, HumanCount(point).c_str());
+  }
+  return StrFormat("%s in [%s,%s]", m, HumanCount(lo).c_str(),
+                   HumanCount(hi).c_str());
+}
+
+namespace {
+/// min(a/b, b/a) with the paper's zero convention (0 if either is 0).
+double RatioCloseness(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return std::min(a / b, b / a);
+}
+}  // namespace
+
+double RewardFunction::Reward(bool executable, double c_hat) const {
+  if (!executable) return 0.0;
+  if (constraint_.kind == ConstraintKind::kPoint) {
+    return RatioCloseness(c_hat, constraint_.point);
+  }
+  if (c_hat >= constraint_.lo && c_hat <= constraint_.hi) return 1.0;
+  double dl = RatioCloseness(c_hat, constraint_.lo);
+  double dr = RatioCloseness(c_hat, constraint_.hi);
+  return std::max(dl, dr);
+}
+
+}  // namespace lsg

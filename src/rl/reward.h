@@ -1,0 +1,61 @@
+#ifndef LEARNEDSQLGEN_RL_REWARD_H_
+#define LEARNEDSQLGEN_RL_REWARD_H_
+
+#include <string>
+
+namespace lsg {
+
+/// Which query metric a constraint targets (paper §2.1).
+enum class ConstraintMetric { kCardinality = 0, kCost = 1 };
+
+/// Point (Card = c) or range (Card in [l, r]) constraint.
+enum class ConstraintKind { kPoint = 0, kRange = 1 };
+
+/// A user constraint C. For point constraints a query counts as satisfied
+/// when its metric lands within ±tolerance·c (the paper evaluates with
+/// τ = 0.1·c).
+struct Constraint {
+  ConstraintMetric metric = ConstraintMetric::kCardinality;
+  ConstraintKind kind = ConstraintKind::kPoint;
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double point_tolerance = 0.1;
+
+  static Constraint Point(ConstraintMetric metric, double c);
+  static Constraint Range(ConstraintMetric metric, double lo, double hi);
+
+  /// True if metric value `v` satisfies the constraint.
+  bool Satisfied(double v) const;
+
+  /// "Card=1000" / "Cost in [1K,2K]".
+  std::string ToString() const;
+};
+
+/// The paper's reward design (§4.2).
+///
+/// Point constraint C: Card = c:
+///   r = min(ĉ/c, c/ĉ)  if executable (0 when either is 0), else 0.
+/// Range constraint C: Card = [l, r]:
+///   r = 1                        if executable and ĉ ∈ [l, r]
+///   r = max(min(ĉ/l, l/ĉ),
+///           min(ĉ/r, r/ĉ))       if executable and outside the range
+///   r = 0                        if not executable.
+class RewardFunction {
+ public:
+  explicit RewardFunction(Constraint constraint)
+      : constraint_(constraint) {}
+
+  /// Reward for a query whose estimated metric is `c_hat`; `executable`
+  /// mirrors e_t in the paper (partial non-executable prefixes get 0).
+  double Reward(bool executable, double c_hat) const;
+
+  const Constraint& constraint() const { return constraint_; }
+
+ private:
+  Constraint constraint_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_RL_REWARD_H_

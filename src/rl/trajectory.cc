@@ -1,0 +1,4 @@
+#include "rl/trajectory.h"
+
+// Interface definitions only; this file anchors the Environment vtable.
+namespace lsg {}  // namespace lsg

@@ -1,0 +1,85 @@
+#include "sql/ast.h"
+
+#include <algorithm>
+
+namespace lsg {
+
+const char* AggFuncName(AggFunc agg) {
+  switch (agg) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kCount:
+      return "COUNT";
+  }
+  return "";
+}
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kSelect:
+      return "SELECT";
+    case QueryType::kInsert:
+      return "INSERT";
+    case QueryType::kUpdate:
+      return "UPDATE";
+    case QueryType::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+Predicate::Predicate() = default;
+Predicate::~Predicate() = default;
+Predicate::Predicate(Predicate&&) noexcept = default;
+Predicate& Predicate::operator=(Predicate&&) noexcept = default;
+
+QueryAst::QueryAst() = default;
+QueryAst::~QueryAst() = default;
+QueryAst::QueryAst(QueryAst&&) noexcept = default;
+QueryAst& QueryAst::operator=(QueryAst&&) noexcept = default;
+
+bool SelectQuery::HasAggregate() const {
+  return std::any_of(items.begin(), items.end(), [](const SelectItem& it) {
+    return it.agg != AggFunc::kNone;
+  });
+}
+
+int SelectQuery::NumJoins() const {
+  return tables.empty() ? 0 : static_cast<int>(tables.size()) - 1;
+}
+
+namespace {
+int PredicatesIn(const WhereClause& where) {
+  int n = static_cast<int>(where.predicates.size());
+  for (const Predicate& p : where.predicates) {
+    if (p.subquery) n += p.subquery->TotalPredicates();
+  }
+  return n;
+}
+}  // namespace
+
+int SelectQuery::TotalPredicates() const { return PredicatesIn(where); }
+
+bool SelectQuery::HasNested() const {
+  return std::any_of(
+      where.predicates.begin(), where.predicates.end(),
+      [](const Predicate& p) { return p.subquery != nullptr; });
+}
+
+int SelectQuery::NestingDepth() const {
+  int depth = 0;
+  for (const Predicate& p : where.predicates) {
+    if (p.subquery) depth = std::max(depth, 1 + p.subquery->NestingDepth());
+  }
+  return depth;
+}
+
+}  // namespace lsg

@@ -1,0 +1,142 @@
+#ifndef LEARNEDSQLGEN_SQL_AST_H_
+#define LEARNEDSQLGEN_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "sql/token.h"
+
+namespace lsg {
+
+struct SelectQuery;
+
+/// Aggregate functions usable in SELECT items and HAVING.
+enum class AggFunc { kNone = 0, kMax, kMin, kSum, kAvg, kCount };
+
+/// SQL name of an aggregate ("MAX", ...); kNone yields "".
+const char* AggFuncName(AggFunc agg);
+
+/// One projection item: a bare column or agg(column).
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef column;
+};
+
+/// How a predicate's right-hand side is formed.
+enum class PredicateKind {
+  kValue,     ///< col op literal
+  kScalarSub, ///< col op (SELECT agg(x) FROM ...)
+  kInSub,     ///< col IN (SELECT x FROM ...)
+  kExistsSub, ///< [NOT] EXISTS (SELECT x FROM ...)
+  kLike,      ///< col LIKE '%pattern%' (§5 future work, implemented)
+};
+
+/// One WHERE predicate. Owns its subquery when kind != kValue.
+struct Predicate {
+  Predicate();
+  ~Predicate();
+  Predicate(Predicate&&) noexcept;
+  Predicate& operator=(Predicate&&) noexcept;
+  Predicate(const Predicate&) = delete;
+  Predicate& operator=(const Predicate&) = delete;
+
+  PredicateKind kind = PredicateKind::kValue;
+  ColumnRef column;          ///< lhs column (unused for EXISTS)
+  CompareOp op = CompareOp::kEq;
+  Value value;               ///< rhs literal (kValue)
+  bool negated = false;      ///< NOT EXISTS
+  std::unique_ptr<SelectQuery> subquery;  ///< rhs subquery
+};
+
+/// Boolean connector between consecutive predicates.
+enum class BoolConn { kAnd = 0, kOr = 1 };
+
+/// Conjunction/disjunction chain, evaluated left-to-right with SQL's usual
+/// precedence (AND binds tighter than OR).
+struct WhereClause {
+  std::vector<Predicate> predicates;
+  std::vector<BoolConn> connectors;  ///< size = predicates.size() - 1
+
+  bool empty() const { return predicates.empty(); }
+};
+
+/// HAVING agg(col) op value.
+struct HavingClause {
+  AggFunc agg = AggFunc::kCount;
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+};
+
+/// A SELECT query over a chain of FK-joined tables.
+struct SelectQuery {
+  /// Catalog indices of the joined tables; tables[0] is the FROM anchor and
+  /// each later table joins some earlier one via a catalog FK edge.
+  std::vector<int> tables;
+  std::vector<SelectItem> items;
+  WhereClause where;
+  std::vector<ColumnRef> group_by;
+  std::optional<HavingClause> having;
+  /// ORDER BY columns (drawn from the select items). Does not change the
+  /// result cardinality; the cost model prices the sort.
+  std::vector<ColumnRef> order_by;
+
+  /// True if any item aggregates.
+  bool HasAggregate() const;
+  /// Number of join edges (tables.size() - 1, or 0).
+  int NumJoins() const;
+  /// Total predicates including those in subqueries.
+  int TotalPredicates() const;
+  /// True if any predicate nests a subquery (recursively).
+  bool HasNested() const;
+  /// Maximum nesting depth (0 = flat).
+  int NestingDepth() const;
+};
+
+/// INSERT INTO t VALUES(...) or INSERT INTO t SELECT ... .
+struct InsertQuery {
+  int table_idx = -1;
+  std::vector<Value> values;               ///< VALUES form
+  std::unique_ptr<SelectQuery> source;     ///< SELECT form
+};
+
+/// UPDATE t SET col = value [WHERE ...].
+struct UpdateQuery {
+  int table_idx = -1;
+  ColumnRef set_column;
+  Value set_value;
+  WhereClause where;
+};
+
+/// DELETE FROM t [WHERE ...].
+struct DeleteQuery {
+  int table_idx = -1;
+  WhereClause where;
+};
+
+enum class QueryType { kSelect = 0, kInsert, kUpdate, kDelete };
+
+const char* QueryTypeName(QueryType type);
+
+/// A fully or partially generated query of any supported type.
+struct QueryAst {
+  QueryType type = QueryType::kSelect;
+  std::unique_ptr<SelectQuery> select;
+  std::unique_ptr<InsertQuery> insert;
+  std::unique_ptr<UpdateQuery> update;
+  std::unique_ptr<DeleteQuery> del;
+
+  QueryAst();
+  ~QueryAst();
+  QueryAst(QueryAst&&) noexcept;
+  QueryAst& operator=(QueryAst&&) noexcept;
+  QueryAst(const QueryAst&) = delete;
+  QueryAst& operator=(const QueryAst&) = delete;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SQL_AST_H_

@@ -1,0 +1,684 @@
+#include "sql/ast_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lsg {
+
+const char* BuildPhaseName(BuildPhase phase) {
+  switch (phase) {
+    case BuildPhase::kStart: return "Start";
+    case BuildPhase::kFromTable: return "FromTable";
+    case BuildPhase::kAfterFromTable: return "AfterFromTable";
+    case BuildPhase::kJoinTable: return "JoinTable";
+    case BuildPhase::kSelectItem: return "SelectItem";
+    case BuildPhase::kAggColumn: return "AggColumn";
+    case BuildPhase::kAfterSelectItem: return "AfterSelectItem";
+    case BuildPhase::kWherePred: return "WherePred";
+    case BuildPhase::kAfterNot: return "AfterNot";
+    case BuildPhase::kExistsOpen: return "ExistsOpen";
+    case BuildPhase::kWhereOp: return "WhereOp";
+    case BuildPhase::kWhereRhs: return "WhereRhs";
+    case BuildPhase::kWhereLikeRhs: return "WhereLikeRhs";
+    case BuildPhase::kInOpen: return "InOpen";
+    case BuildPhase::kAfterPredicate: return "AfterPredicate";
+    case BuildPhase::kGroupByColumn: return "GroupByColumn";
+    case BuildPhase::kAfterGroupBy: return "AfterGroupBy";
+    case BuildPhase::kHavingAgg: return "HavingAgg";
+    case BuildPhase::kHavingColumn: return "HavingColumn";
+    case BuildPhase::kHavingOp: return "HavingOp";
+    case BuildPhase::kHavingValue: return "HavingValue";
+    case BuildPhase::kAfterHaving: return "AfterHaving";
+    case BuildPhase::kOrderByColumn: return "OrderByColumn";
+    case BuildPhase::kAfterOrderBy: return "AfterOrderBy";
+    case BuildPhase::kInsertTable: return "InsertTable";
+    case BuildPhase::kAfterInsertTable: return "AfterInsertTable";
+    case BuildPhase::kInsertValue: return "InsertValue";
+    case BuildPhase::kInsertDone: return "InsertDone";
+    case BuildPhase::kUpdateTable: return "UpdateTable";
+    case BuildPhase::kUpdateSetKw: return "UpdateSetKw";
+    case BuildPhase::kUpdateSetColumn: return "UpdateSetColumn";
+    case BuildPhase::kUpdateSetValue: return "UpdateSetValue";
+    case BuildPhase::kUpdateAfterSet: return "UpdateAfterSet";
+    case BuildPhase::kDeleteTable: return "DeleteTable";
+    case BuildPhase::kDeleteAfterTable: return "DeleteAfterTable";
+    case BuildPhase::kDone: return "Done";
+  }
+  return "?";
+}
+
+namespace {
+
+AggFunc KeywordToAgg(Keyword kw) {
+  switch (kw) {
+    case Keyword::kMax: return AggFunc::kMax;
+    case Keyword::kMin: return AggFunc::kMin;
+    case Keyword::kSum: return AggFunc::kSum;
+    case Keyword::kAvg: return AggFunc::kAvg;
+    case Keyword::kCount: return AggFunc::kCount;
+    default: return AggFunc::kNone;
+  }
+}
+
+}  // namespace
+
+AstBuilder::AstBuilder(const Catalog* catalog) : catalog_(catalog) {
+  LSG_CHECK(catalog != nullptr);
+  BuildFrame top;
+  top.purpose = FramePurpose::kTopLevel;
+  top.phase = BuildPhase::kStart;
+  stack_.push_back(std::move(top));
+}
+
+Status AstBuilder::Illegal(const Token& t) const {
+  return Status::InvalidArgument(StrFormat(
+      "token '%s' illegal in phase %s (depth %d)", t.text.c_str(),
+      BuildPhaseName(stack_.back().phase), depth()));
+}
+
+QueryAst AstBuilder::TakeAst() {
+  LSG_CHECK(done_);
+  return std::move(ast_);
+}
+
+Status AstBuilder::Feed(const Token& t) {
+  if (done_) return Status::FailedPrecondition("query already complete");
+  BuildFrame& f = stack_.back();
+  Status st;
+  switch (f.phase) {
+    case BuildPhase::kStart:
+      st = FeedStart(t);
+      break;
+    case BuildPhase::kInsertTable:
+    case BuildPhase::kAfterInsertTable:
+    case BuildPhase::kInsertValue:
+    case BuildPhase::kInsertDone:
+      st = FeedInsert(t);
+      break;
+    case BuildPhase::kUpdateTable:
+    case BuildPhase::kUpdateSetKw:
+    case BuildPhase::kUpdateSetColumn:
+    case BuildPhase::kUpdateSetValue:
+    case BuildPhase::kUpdateAfterSet:
+      st = FeedUpdate(t);
+      break;
+    case BuildPhase::kDeleteTable:
+    case BuildPhase::kDeleteAfterTable:
+      st = FeedDelete(t);
+      break;
+    case BuildPhase::kDone:
+      return Status::FailedPrecondition("query already complete");
+    default:
+      st = FeedSelectFrame(t);
+      break;
+  }
+  if (st.ok()) tokens_.push_back(t);
+  return st;
+}
+
+Status AstBuilder::FeedStart(const Token& t) {
+  BuildFrame& f = stack_.back();
+  if (t.kind != TokenKind::kKeyword) return Illegal(t);
+  const bool top = depth() == 1;
+  switch (t.keyword) {
+    case Keyword::kFrom:
+      if (top) {
+        ast_.type = QueryType::kSelect;
+        ast_.select = std::make_unique<SelectQuery>();
+        f.query = ast_.select.get();
+        f.where = &ast_.select->where;
+      }
+      // Subquery frames already carry their SelectQuery.
+      f.phase = BuildPhase::kFromTable;
+      return Status::Ok();
+    case Keyword::kInsert:
+      if (!top) return Illegal(t);
+      ast_.type = QueryType::kInsert;
+      ast_.insert = std::make_unique<InsertQuery>();
+      f.phase = BuildPhase::kInsertTable;
+      return Status::Ok();
+    case Keyword::kUpdate:
+      if (!top) return Illegal(t);
+      ast_.type = QueryType::kUpdate;
+      ast_.update = std::make_unique<UpdateQuery>();
+      f.phase = BuildPhase::kUpdateTable;
+      return Status::Ok();
+    case Keyword::kDelete:
+      if (!top) return Illegal(t);
+      ast_.type = QueryType::kDelete;
+      ast_.del = std::make_unique<DeleteQuery>();
+      f.phase = BuildPhase::kDeleteTable;
+      return Status::Ok();
+    default:
+      return Illegal(t);
+  }
+}
+
+Status AstBuilder::FeedSelectFrame(const Token& t) {
+  BuildFrame& f = stack_.back();
+  const bool top = depth() == 1;
+  switch (f.phase) {
+    case BuildPhase::kFromTable:
+      if (t.kind != TokenKind::kTable) return Illegal(t);
+      f.query->tables.push_back(t.table_idx);
+      f.scope_tables.push_back(t.table_idx);
+      f.phase = BuildPhase::kAfterFromTable;
+      return Status::Ok();
+
+    case BuildPhase::kAfterFromTable:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kJoin) {
+        f.phase = BuildPhase::kJoinTable;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kSelect) {
+        f.phase = BuildPhase::kSelectItem;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kJoinTable:
+      if (t.kind != TokenKind::kTable) return Illegal(t);
+      f.query->tables.push_back(t.table_idx);
+      f.scope_tables.push_back(t.table_idx);
+      f.phase = BuildPhase::kAfterFromTable;
+      return Status::Ok();
+
+    case BuildPhase::kSelectItem:
+    case BuildPhase::kAfterSelectItem:
+      if (t.kind == TokenKind::kColumn) {
+        f.query->items.push_back(SelectItem{AggFunc::kNone, t.column});
+        f.phase = BuildPhase::kAfterSelectItem;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && IsAggregateKeyword(t.keyword)) {
+        f.pending_agg = KeywordToAgg(t.keyword);
+        f.phase = BuildPhase::kAggColumn;
+        return Status::Ok();
+      }
+      if (f.phase == BuildPhase::kAfterSelectItem &&
+          t.kind == TokenKind::kKeyword) {
+        if (t.keyword == Keyword::kWhere) {
+          f.phase = BuildPhase::kWherePred;
+          return Status::Ok();
+        }
+        if (t.keyword == Keyword::kGroupBy && f.query != nullptr) {
+          f.groupby_remaining.clear();
+          for (const SelectItem& it : f.query->items) {
+            if (it.agg != AggFunc::kNone) continue;
+            if (std::find(f.groupby_remaining.begin(),
+                          f.groupby_remaining.end(),
+                          it.column) == f.groupby_remaining.end()) {
+              f.groupby_remaining.push_back(it.column);
+            }
+          }
+          if (f.groupby_remaining.empty()) return Illegal(t);
+          f.phase = BuildPhase::kGroupByColumn;
+          return Status::Ok();
+        }
+        if (t.keyword == Keyword::kCloseParen && !top) return PopSubquery();
+      }
+      if (f.phase == BuildPhase::kAfterSelectItem &&
+          t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOrderBy &&
+          top && f.query != nullptr) {
+        return EnterOrderBy(t);
+      }
+      if (f.phase == BuildPhase::kAfterSelectItem &&
+          t.kind == TokenKind::kEof && top) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kAggColumn:
+      if (t.kind != TokenKind::kColumn) return Illegal(t);
+      f.query->items.push_back(SelectItem{f.pending_agg, t.column});
+      f.pending_agg = AggFunc::kNone;
+      f.phase = BuildPhase::kAfterSelectItem;
+      return Status::Ok();
+
+    case BuildPhase::kWherePred:
+      if (t.kind == TokenKind::kColumn) {
+        f.pending_column = t.column;
+        f.phase = BuildPhase::kWhereOp;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kNot) {
+        f.pending_negated = true;
+        f.phase = BuildPhase::kAfterNot;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kExists) {
+        f.pending_negated = false;
+        f.phase = BuildPhase::kExistsOpen;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kAfterNot:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kExists) {
+        f.phase = BuildPhase::kExistsOpen;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kExistsOpen:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOpenParen) {
+        PushSubquery(FramePurpose::kExistsSub);
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kWhereOp:
+      if (t.kind == TokenKind::kOperator) {
+        f.pending_op = t.op;
+        f.phase = BuildPhase::kWhereRhs;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kIn) {
+        f.phase = BuildPhase::kInOpen;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kLike) {
+        f.phase = BuildPhase::kWhereLikeRhs;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kWhereLikeRhs:
+      if (t.kind == TokenKind::kValue && t.value.is_string()) {
+        Predicate p;
+        p.kind = PredicateKind::kLike;
+        p.column = f.pending_column;
+        p.value = t.value;
+        f.where->predicates.push_back(std::move(p));
+        f.phase = BuildPhase::kAfterPredicate;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kWhereRhs:
+      if (t.kind == TokenKind::kValue) {
+        Predicate p;
+        p.kind = PredicateKind::kValue;
+        p.column = f.pending_column;
+        p.op = f.pending_op;
+        p.value = t.value;
+        f.where->predicates.push_back(std::move(p));
+        f.phase = BuildPhase::kAfterPredicate;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOpenParen) {
+        PushSubquery(FramePurpose::kScalarSub);
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kInOpen:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOpenParen) {
+        PushSubquery(FramePurpose::kInSub);
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kAfterPredicate:
+      if (t.kind == TokenKind::kKeyword &&
+          (t.keyword == Keyword::kAnd || t.keyword == Keyword::kOr)) {
+        f.where->connectors.push_back(
+            t.keyword == Keyword::kAnd ? BoolConn::kAnd : BoolConn::kOr);
+        f.phase = BuildPhase::kWherePred;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kGroupBy &&
+          f.query != nullptr) {
+        f.groupby_remaining.clear();
+        for (const SelectItem& it : f.query->items) {
+          if (it.agg != AggFunc::kNone) continue;
+          if (std::find(f.groupby_remaining.begin(), f.groupby_remaining.end(),
+                        it.column) == f.groupby_remaining.end()) {
+            f.groupby_remaining.push_back(it.column);
+          }
+        }
+        if (f.groupby_remaining.empty()) return Illegal(t);
+        f.phase = BuildPhase::kGroupByColumn;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kCloseParen &&
+          !top) {
+        return PopSubquery();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOrderBy &&
+          top && f.query != nullptr) {
+        return EnterOrderBy(t);
+      }
+      if (t.kind == TokenKind::kEof && top) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kGroupByColumn:
+    case BuildPhase::kAfterGroupBy:
+      if (t.kind == TokenKind::kColumn) {
+        auto it = std::find(f.groupby_remaining.begin(),
+                            f.groupby_remaining.end(), t.column);
+        if (it == f.groupby_remaining.end()) return Illegal(t);
+        f.query->group_by.push_back(t.column);
+        f.groupby_remaining.erase(it);
+        f.phase = BuildPhase::kAfterGroupBy;
+        return Status::Ok();
+      }
+      if (f.phase == BuildPhase::kAfterGroupBy && f.groupby_remaining.empty()) {
+        if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kHaving) {
+          f.phase = BuildPhase::kHavingAgg;
+          return Status::Ok();
+        }
+        if (t.kind == TokenKind::kKeyword &&
+            t.keyword == Keyword::kCloseParen && !top) {
+          return PopSubquery();
+        }
+        if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOrderBy &&
+            top) {
+          return EnterOrderBy(t);
+        }
+        if (t.kind == TokenKind::kEof && top) {
+          done_ = true;
+          f.phase = BuildPhase::kDone;
+          return Status::Ok();
+        }
+      }
+      return Illegal(t);
+
+    case BuildPhase::kHavingAgg:
+      if (t.kind == TokenKind::kKeyword && IsAggregateKeyword(t.keyword)) {
+        f.query->having = HavingClause{};
+        f.query->having->agg = KeywordToAgg(t.keyword);
+        f.phase = BuildPhase::kHavingColumn;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kHavingColumn:
+      if (t.kind != TokenKind::kColumn) return Illegal(t);
+      f.query->having->column = t.column;
+      f.phase = BuildPhase::kHavingOp;
+      return Status::Ok();
+
+    case BuildPhase::kHavingOp:
+      if (t.kind != TokenKind::kOperator) return Illegal(t);
+      f.query->having->op = t.op;
+      f.phase = BuildPhase::kHavingValue;
+      return Status::Ok();
+
+    case BuildPhase::kHavingValue:
+      if (t.kind != TokenKind::kValue) return Illegal(t);
+      f.query->having->value = t.value;
+      f.phase = BuildPhase::kAfterHaving;
+      return Status::Ok();
+
+    case BuildPhase::kAfterHaving:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kCloseParen &&
+          !top) {
+        return PopSubquery();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOrderBy &&
+          top) {
+        return EnterOrderBy(t);
+      }
+      if (t.kind == TokenKind::kEof && top) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    case BuildPhase::kOrderByColumn:
+    case BuildPhase::kAfterOrderBy:
+      if (t.kind == TokenKind::kColumn) {
+        auto it = std::find(f.orderby_candidates.begin(),
+                            f.orderby_candidates.end(), t.column);
+        if (it == f.orderby_candidates.end()) return Illegal(t);
+        f.query->order_by.push_back(t.column);
+        f.orderby_candidates.erase(it);
+        f.phase = BuildPhase::kAfterOrderBy;
+        return Status::Ok();
+      }
+      if (f.phase == BuildPhase::kAfterOrderBy && t.kind == TokenKind::kEof &&
+          top) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+
+    default:
+      return Illegal(t);
+  }
+}
+
+Status AstBuilder::EnterOrderBy(const Token& t) {
+  BuildFrame& f = stack_.back();
+  f.orderby_candidates.clear();
+  for (const SelectItem& it : f.query->items) {
+    if (it.agg != AggFunc::kNone) continue;
+    if (std::find(f.orderby_candidates.begin(), f.orderby_candidates.end(),
+                  it.column) == f.orderby_candidates.end()) {
+      f.orderby_candidates.push_back(it.column);
+    }
+  }
+  if (f.orderby_candidates.empty()) return Illegal(t);
+  f.phase = BuildPhase::kOrderByColumn;
+  return Status::Ok();
+}
+
+Status AstBuilder::FeedInsert(const Token& t) {
+  BuildFrame& f = stack_.back();
+  InsertQuery* ins = ast_.insert.get();
+  switch (f.phase) {
+    case BuildPhase::kInsertTable:
+      if (t.kind != TokenKind::kTable) return Illegal(t);
+      ins->table_idx = t.table_idx;
+      f.scope_tables = {t.table_idx};
+      f.phase = BuildPhase::kAfterInsertTable;
+      return Status::Ok();
+    case BuildPhase::kAfterInsertTable:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kValues) {
+        f.phase = BuildPhase::kInsertValue;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kOpenParen) {
+        PushSubquery(FramePurpose::kInsertSource);
+        return Status::Ok();
+      }
+      return Illegal(t);
+    case BuildPhase::kInsertValue: {
+      if (t.kind != TokenKind::kValue) return Illegal(t);
+      ins->values.push_back(t.value);
+      size_t ncols = catalog_->table(ins->table_idx).num_columns();
+      if (ins->values.size() == ncols) f.phase = BuildPhase::kInsertDone;
+      return Status::Ok();
+    }
+    case BuildPhase::kInsertDone:
+      if (t.kind == TokenKind::kEof) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+    default:
+      return Illegal(t);
+  }
+}
+
+Status AstBuilder::FeedUpdate(const Token& t) {
+  BuildFrame& f = stack_.back();
+  UpdateQuery* upd = ast_.update.get();
+  switch (f.phase) {
+    case BuildPhase::kUpdateTable:
+      if (t.kind != TokenKind::kTable) return Illegal(t);
+      upd->table_idx = t.table_idx;
+      f.scope_tables = {t.table_idx};
+      f.phase = BuildPhase::kUpdateSetKw;
+      return Status::Ok();
+    case BuildPhase::kUpdateSetKw:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kSet) {
+        f.phase = BuildPhase::kUpdateSetColumn;
+        return Status::Ok();
+      }
+      return Illegal(t);
+    case BuildPhase::kUpdateSetColumn:
+      if (t.kind != TokenKind::kColumn) return Illegal(t);
+      if (t.column.table_idx != upd->table_idx) return Illegal(t);
+      upd->set_column = t.column;
+      f.phase = BuildPhase::kUpdateSetValue;
+      return Status::Ok();
+    case BuildPhase::kUpdateSetValue:
+      if (t.kind != TokenKind::kValue) return Illegal(t);
+      upd->set_value = t.value;
+      f.phase = BuildPhase::kUpdateAfterSet;
+      return Status::Ok();
+    case BuildPhase::kUpdateAfterSet:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kWhere) {
+        f.where = &upd->where;
+        f.phase = BuildPhase::kWherePred;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kEof) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+    default:
+      return Illegal(t);
+  }
+}
+
+Status AstBuilder::FeedDelete(const Token& t) {
+  BuildFrame& f = stack_.back();
+  DeleteQuery* del = ast_.del.get();
+  switch (f.phase) {
+    case BuildPhase::kDeleteTable:
+      if (t.kind != TokenKind::kTable) return Illegal(t);
+      del->table_idx = t.table_idx;
+      f.scope_tables = {t.table_idx};
+      f.phase = BuildPhase::kDeleteAfterTable;
+      return Status::Ok();
+    case BuildPhase::kDeleteAfterTable:
+      if (t.kind == TokenKind::kKeyword && t.keyword == Keyword::kWhere) {
+        f.where = &del->where;
+        f.phase = BuildPhase::kWherePred;
+        return Status::Ok();
+      }
+      if (t.kind == TokenKind::kEof) {
+        done_ = true;
+        f.phase = BuildPhase::kDone;
+        return Status::Ok();
+      }
+      return Illegal(t);
+    default:
+      return Illegal(t);
+  }
+}
+
+void AstBuilder::PushSubquery(FramePurpose purpose) {
+  BuildFrame& parent = stack_.back();
+  auto sub = std::make_unique<SelectQuery>();
+  BuildFrame child;
+  child.purpose = purpose;
+  child.phase = BuildPhase::kStart;
+  child.query = sub.get();
+  child.where = &sub->where;
+  child.outer_lhs = parent.pending_column;
+  if (purpose == FramePurpose::kInsertSource) {
+    child.pinned_table = ast_.insert->table_idx;
+  }
+  pending_subqueries_.push_back(std::move(sub));
+  stack_.push_back(std::move(child));
+}
+
+Status AstBuilder::PopSubquery() {
+  LSG_CHECK(stack_.size() > 1);
+  BuildFrame closing = std::move(stack_.back());
+  stack_.pop_back();
+  std::unique_ptr<SelectQuery> sub = std::move(pending_subqueries_.back());
+  pending_subqueries_.pop_back();
+  BuildFrame& parent = stack_.back();
+
+  switch (closing.purpose) {
+    case FramePurpose::kScalarSub: {
+      Predicate p;
+      p.kind = PredicateKind::kScalarSub;
+      p.column = parent.pending_column;
+      p.op = parent.pending_op;
+      p.subquery = std::move(sub);
+      parent.where->predicates.push_back(std::move(p));
+      parent.phase = BuildPhase::kAfterPredicate;
+      return Status::Ok();
+    }
+    case FramePurpose::kInSub: {
+      Predicate p;
+      p.kind = PredicateKind::kInSub;
+      p.column = parent.pending_column;
+      p.op = CompareOp::kEq;
+      p.subquery = std::move(sub);
+      parent.where->predicates.push_back(std::move(p));
+      parent.phase = BuildPhase::kAfterPredicate;
+      return Status::Ok();
+    }
+    case FramePurpose::kExistsSub: {
+      Predicate p;
+      p.kind = PredicateKind::kExistsSub;
+      p.negated = parent.pending_negated;
+      p.subquery = std::move(sub);
+      parent.where->predicates.push_back(std::move(p));
+      parent.pending_negated = false;
+      parent.phase = BuildPhase::kAfterPredicate;
+      return Status::Ok();
+    }
+    case FramePurpose::kInsertSource:
+      ast_.insert->source = std::move(sub);
+      parent.phase = BuildPhase::kInsertDone;
+      return Status::Ok();
+    case FramePurpose::kTopLevel:
+      return Status::Internal("top-level frame cannot be popped");
+  }
+  return Status::Internal("unknown frame purpose");
+}
+
+bool AstBuilder::IsExecutablePrefix() const {
+  if (depth() != 1) return false;
+  const BuildFrame& f = stack_.back();
+  switch (ast_.type) {
+    case QueryType::kSelect:
+      if (ast_.select == nullptr || ast_.select->items.empty()) return false;
+      switch (f.phase) {
+        case BuildPhase::kAfterSelectItem:
+        case BuildPhase::kAfterPredicate:
+        case BuildPhase::kAfterHaving:
+        case BuildPhase::kAfterOrderBy:
+        case BuildPhase::kDone:
+          return true;
+        case BuildPhase::kAfterGroupBy:
+          return f.groupby_remaining.empty();
+        default:
+          return false;
+      }
+    case QueryType::kInsert:
+      return f.phase == BuildPhase::kInsertDone || f.phase == BuildPhase::kDone;
+    case QueryType::kUpdate:
+      return f.phase == BuildPhase::kUpdateAfterSet ||
+             f.phase == BuildPhase::kAfterPredicate ||
+             f.phase == BuildPhase::kDone;
+    case QueryType::kDelete:
+      return f.phase == BuildPhase::kDeleteAfterTable ||
+             f.phase == BuildPhase::kAfterPredicate ||
+             f.phase == BuildPhase::kDone;
+  }
+  return false;
+}
+
+}  // namespace lsg

@@ -1,0 +1,170 @@
+#ifndef LEARNEDSQLGEN_SQL_AST_BUILDER_H_
+#define LEARNEDSQLGEN_SQL_AST_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace lsg {
+
+/// Grammar position of the current (innermost) query frame. The builder is a
+/// deterministic pushdown machine: each fed token either advances the phase,
+/// pushes a subquery frame (OpenParen), or pops one (CloseParen).
+enum class BuildPhase {
+  kStart = 0,         ///< expect FROM / INSERT / UPDATE / DELETE
+  kFromTable,         ///< expect a table token
+  kAfterFromTable,    ///< expect JOIN or SELECT
+  kJoinTable,         ///< expect a joinable table token
+  kSelectItem,        ///< expect a column or aggregate keyword
+  kAggColumn,         ///< after agg keyword: expect a column
+  kAfterSelectItem,   ///< more items | WHERE | GROUP BY | EOF | ')'
+  kWherePred,         ///< expect column | NOT | EXISTS
+  kAfterNot,          ///< expect EXISTS
+  kExistsOpen,        ///< expect '('
+  kWhereOp,           ///< expect operator | IN
+  kWhereRhs,          ///< expect value | '(' (scalar subquery)
+  kWhereLikeRhs,      ///< expect a pattern literal (after LIKE)
+  kInOpen,            ///< expect '(' (after IN)
+  kAfterPredicate,    ///< AND | OR | GROUP BY | EOF | ')'
+  kGroupByColumn,     ///< expect a group-by column
+  kAfterGroupBy,      ///< more group cols | HAVING | EOF | ')'
+  kHavingAgg,         ///< expect aggregate keyword
+  kHavingColumn,      ///< expect column
+  kHavingOp,          ///< expect operator
+  kHavingValue,       ///< expect value
+  kAfterHaving,       ///< EOF | ')' | ORDER BY
+  kOrderByColumn,     ///< expect an order-by column
+  kAfterOrderBy,      ///< more order cols | EOF
+  kInsertTable,       ///< expect table token
+  kAfterInsertTable,  ///< VALUES | '(' (INSERT ... SELECT)
+  kInsertValue,       ///< expect value for the next column in order
+  kInsertDone,        ///< expect EOF
+  kUpdateTable,       ///< expect table token
+  kUpdateSetKw,       ///< expect SET
+  kUpdateSetColumn,   ///< expect a settable column
+  kUpdateSetValue,    ///< expect value for the set column
+  kUpdateAfterSet,    ///< WHERE | EOF
+  kDeleteTable,       ///< expect table token
+  kDeleteAfterTable,  ///< WHERE | EOF
+  kDone,              ///< EOF consumed at top level
+};
+
+const char* BuildPhaseName(BuildPhase phase);
+
+/// Why a subquery frame exists; drives semantic masking inside it.
+enum class FramePurpose {
+  kTopLevel = 0,
+  kScalarSub,    ///< rhs of `col op (SELECT agg(x) ...)`
+  kInSub,        ///< rhs of `col IN (SELECT x ...)`
+  kExistsSub,    ///< `[NOT] EXISTS (SELECT x ...)`
+  kInsertSource, ///< source of `INSERT INTO t SELECT ...`
+};
+
+/// One query frame on the build stack. Frame 0 is the outer query; each
+/// subquery pushes another frame.
+struct BuildFrame {
+  FramePurpose purpose = FramePurpose::kTopLevel;
+  BuildPhase phase = BuildPhase::kStart;
+
+  /// The SELECT under construction (null for the DML portions of the top
+  /// frame: UPDATE/DELETE build `where` directly, INSERT builds values).
+  SelectQuery* query = nullptr;
+
+  /// WHERE clause currently being extended (select's or the DML one).
+  WhereClause* where = nullptr;
+
+  /// Tables whose columns are in scope (mirrors query->tables, or the DML
+  /// target table).
+  std::vector<int> scope_tables;
+
+  // --- pending pieces of the construct being parsed ---
+  AggFunc pending_agg = AggFunc::kNone;
+  ColumnRef pending_column;
+  CompareOp pending_op = CompareOp::kEq;
+  bool pending_negated = false;
+
+  /// Outer predicate's lhs column (for kScalarSub/kInSub type matching).
+  ColumnRef outer_lhs;
+
+  /// For kInsertSource: table whose columns must be projected in order.
+  int pinned_table = -1;
+  int insert_next_col = 0;
+
+  /// Non-aggregated select columns not yet listed in GROUP BY; HAVING/EOF
+  /// become legal only once this is empty (guarantees semantic validity).
+  std::vector<ColumnRef> groupby_remaining;
+
+  /// Select-item columns still available to ORDER BY.
+  std::vector<ColumnRef> orderby_candidates;
+};
+
+/// Incrementally turns the generated token stream into a QueryAst. Returns
+/// InvalidArgument from Feed() when a token is structurally illegal at the
+/// current phase — the FSM's masks make that unreachable during generation,
+/// but the builder stays safe when driven directly (e.g. in tests).
+class AstBuilder {
+ public:
+  explicit AstBuilder(const Catalog* catalog);
+
+  AstBuilder(AstBuilder&&) noexcept = default;
+  AstBuilder& operator=(AstBuilder&&) noexcept = default;
+
+  /// Consumes the next token.
+  Status Feed(const Token& token);
+
+  /// True once EOF was consumed at the top level.
+  bool done() const { return done_; }
+
+  /// Current (innermost) frame and phase.
+  const BuildFrame& frame() const { return stack_.back(); }
+  BuildPhase phase() const { return stack_.back().phase; }
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+  /// The (possibly partial) AST.
+  const QueryAst& ast() const { return ast_; }
+  QueryAst TakeAst();
+
+  /// Tokens consumed so far — this is the RL state (paper §4.1).
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// True if the current prefix is a well-formed, executable query
+  /// (paper §3.2: partial executable queries receive rewards too).
+  bool IsExecutablePrefix() const;
+
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  Status FeedStart(const Token& t);
+  Status FeedSelectFrame(const Token& t);
+  Status FeedInsert(const Token& t);
+  Status FeedUpdate(const Token& t);
+  Status FeedDelete(const Token& t);
+
+  /// Enters the ORDER BY clause: computes the candidate columns and moves
+  /// to kOrderByColumn (Illegal if no plain item column exists).
+  Status EnterOrderBy(const Token& t);
+
+  /// Pushes a subquery frame whose result attaches to the current pending
+  /// predicate (or insert source).
+  void PushSubquery(FramePurpose purpose);
+  /// Pops the innermost frame, attaching its query to the parent.
+  Status PopSubquery();
+
+  Status Illegal(const Token& t) const;
+
+  const Catalog* catalog_;
+  QueryAst ast_;
+  /// Owning storage for subqueries while they are being built.
+  std::vector<std::unique_ptr<SelectQuery>> pending_subqueries_;
+  std::vector<BuildFrame> stack_;
+  std::vector<Token> tokens_;
+  bool done_ = false;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SQL_AST_BUILDER_H_

@@ -1,0 +1,24 @@
+#ifndef LEARNEDSQLGEN_SQL_RENDER_H_
+#define LEARNEDSQLGEN_SQL_RENDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+
+namespace lsg {
+
+/// Renders a complete (or executable-prefix) AST as standard SQL text.
+/// JOINs are rendered with explicit ON conditions resolved from the
+/// catalog's FK graph (the paper's FSM "automatically adds join keys").
+std::string RenderSql(const QueryAst& ast, const Catalog& catalog);
+
+/// Renders just a SELECT query (used for subqueries and partial queries).
+std::string RenderSelect(const SelectQuery& q, const Catalog& catalog);
+
+/// Renders a column as "Table.column".
+std::string RenderColumn(const ColumnRef& col, const Catalog& catalog);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SQL_RENDER_H_

@@ -1,0 +1,88 @@
+#include "sql/token.h"
+
+namespace lsg {
+
+const char* KeywordText(Keyword kw) {
+  switch (kw) {
+    case Keyword::kSelect:
+      return "SELECT";
+    case Keyword::kFrom:
+      return "FROM";
+    case Keyword::kWhere:
+      return "WHERE";
+    case Keyword::kJoin:
+      return "JOIN";
+    case Keyword::kGroupBy:
+      return "GROUP BY";
+    case Keyword::kHaving:
+      return "HAVING";
+    case Keyword::kOrderBy:
+      return "ORDER BY";
+    case Keyword::kMax:
+      return "MAX";
+    case Keyword::kMin:
+      return "MIN";
+    case Keyword::kSum:
+      return "SUM";
+    case Keyword::kAvg:
+      return "AVG";
+    case Keyword::kCount:
+      return "COUNT";
+    case Keyword::kExists:
+      return "EXISTS";
+    case Keyword::kIn:
+      return "IN";
+    case Keyword::kAnd:
+      return "AND";
+    case Keyword::kOr:
+      return "OR";
+    case Keyword::kNot:
+      return "NOT";
+    case Keyword::kInsert:
+      return "INSERT INTO";
+    case Keyword::kValues:
+      return "VALUES";
+    case Keyword::kUpdate:
+      return "UPDATE";
+    case Keyword::kSet:
+      return "SET";
+    case Keyword::kDelete:
+      return "DELETE FROM";
+    case Keyword::kOpenParen:
+      return "(";
+    case Keyword::kCloseParen:
+      return ")";
+    case Keyword::kLike:
+      return "LIKE";
+    case Keyword::kNumKeywords:
+      return "?";
+  }
+  return "?";
+}
+
+const char* CompareOpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kNumOps:
+      return "?";
+  }
+  return "?";
+}
+
+bool IsAggregateKeyword(Keyword kw) {
+  return kw == Keyword::kMax || kw == Keyword::kMin || kw == Keyword::kSum ||
+         kw == Keyword::kAvg || kw == Keyword::kCount;
+}
+
+}  // namespace lsg

@@ -1,0 +1,111 @@
+#ifndef LEARNEDSQLGEN_SQL_TOKEN_H_
+#define LEARNEDSQLGEN_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/value.h"
+
+namespace lsg {
+
+/// The five token (action) categories of the paper (§4.1): reserved words,
+/// schema metadata (tables/columns), cell values, operators, and EOF.
+enum class TokenKind {
+  kKeyword = 0,
+  kTable = 1,
+  kColumn = 2,
+  kValue = 3,
+  kOperator = 4,
+  kEof = 5,
+};
+
+/// Reserved words. OpenParen/CloseParen delimit nested subqueries in the
+/// token stream (the paper's FSM models nesting as a branch; a linear token
+/// encoding needs explicit delimiters).
+enum class Keyword {
+  kSelect = 0,
+  kFrom,
+  kWhere,
+  kJoin,
+  kGroupBy,
+  kHaving,
+  kOrderBy,
+  kMax,
+  kMin,
+  kSum,
+  kAvg,
+  kCount,
+  kExists,
+  kIn,
+  kAnd,
+  kOr,
+  kNot,
+  kInsert,
+  kValues,
+  kUpdate,
+  kSet,
+  kDelete,
+  kOpenParen,
+  kCloseParen,
+  /// LIKE patterns — the paper's §5 "future work", implemented here:
+  /// pattern literals are substrings sampled from string columns wrapped
+  /// in '%' wildcards.
+  kLike,
+  kNumKeywords,  // sentinel
+};
+
+/// Comparison operators; the paper supports {>, =, <, >=, <=} plus <> in the
+/// grammar table.
+enum class CompareOp {
+  kLt = 0,
+  kGt,
+  kEq,
+  kLe,
+  kGe,
+  kNe,
+  kNumOps,  // sentinel
+};
+
+/// SQL text of a keyword ("SELECT", "GROUP BY", ...).
+const char* KeywordText(Keyword kw);
+
+/// SQL text of an operator ("<", ">=", ...).
+const char* CompareOpText(CompareOp op);
+
+/// True for MAX/MIN/SUM/AVG/COUNT.
+bool IsAggregateKeyword(Keyword kw);
+
+/// A reference to table `table_idx`'s column `column_idx` in a catalog.
+struct ColumnRef {
+  int table_idx = -1;
+  int column_idx = -1;
+
+  bool operator==(const ColumnRef& o) const {
+    return table_idx == o.table_idx && column_idx == o.column_idx;
+  }
+};
+
+/// One action-space entry. `id` is the position in the Vocabulary and is the
+/// one-hot index used by the networks.
+struct Token {
+  int id = -1;
+  TokenKind kind = TokenKind::kEof;
+
+  // Populated according to kind:
+  Keyword keyword = Keyword::kSelect;  // kKeyword
+  int table_idx = -1;                  // kTable
+  ColumnRef column;                    // kColumn
+  Value value;                         // kValue
+  int value_column_table = -1;         // kValue: owning column
+  int value_column_idx = -1;
+  /// kValue: true for LIKE pattern literals ('%sub%' substring samples).
+  bool is_pattern = false;
+  CompareOp op = CompareOp::kEq;       // kOperator
+
+  /// Rendered form used in SQL text and debug output.
+  std::string text;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SQL_TOKEN_H_

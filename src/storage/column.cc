@@ -1,0 +1,127 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::Ok();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int()) {
+        return Status::InvalidArgument("expected INT64 value");
+      }
+      ints_.push_back(v.as_int());
+      break;
+    case DataType::kDouble:
+      if (v.is_int()) {
+        doubles_.push_back(static_cast<double>(v.as_int()));
+      } else if (v.is_double()) {
+        doubles_.push_back(v.as_double());
+      } else {
+        return Status::InvalidArgument("expected DOUBLE value");
+      }
+      break;
+    case DataType::kString:
+    case DataType::kCategorical:
+      if (!v.is_string()) {
+        return Status::InvalidArgument("expected STRING value");
+      }
+      strings_.push_back(v.as_string());
+      break;
+  }
+  valid_.push_back(true);
+  return Status::Ok();
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+    case DataType::kCategorical:
+      strings_.emplace_back();
+      break;
+  }
+  valid_.push_back(false);
+}
+
+Value Column::GetValue(size_t row) const {
+  LSG_DCHECK(row < size());
+  if (!valid_[row]) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kString:
+    case DataType::kCategorical:
+      return Value(strings_[row]);
+  }
+  return Value::Null();
+}
+
+size_t Column::CountNonNull() const {
+  size_t n = 0;
+  for (bool v : valid_) n += v ? 1 : 0;
+  return n;
+}
+
+std::vector<Value> Column::DistinctValues() const {
+  std::vector<Value> vals;
+  vals.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    if (valid_[i]) vals.push_back(GetValue(i));
+  }
+  std::sort(vals.begin(), vals.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  vals.erase(std::unique(vals.begin(), vals.end(),
+                         [](const Value& a, const Value& b) {
+                           return a.Compare(b) == 0;
+                         }),
+             vals.end());
+  return vals;
+}
+
+void Column::FilterRows(const std::vector<bool>& keep) {
+  LSG_CHECK(keep.size() == size());
+  size_t out = 0;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (!keep[i]) continue;
+    if (out == i) {  // self-move would clear strings
+      ++out;
+      continue;
+    }
+    valid_[out] = valid_[i];
+    switch (type_) {
+      case DataType::kInt64:
+        ints_[out] = ints_[i];
+        break;
+      case DataType::kDouble:
+        doubles_[out] = doubles_[i];
+        break;
+      case DataType::kString:
+      case DataType::kCategorical:
+        strings_[out] = std::move(strings_[i]);
+        break;
+    }
+    ++out;
+  }
+  valid_.resize(out);
+  if (type_ == DataType::kInt64) ints_.resize(out);
+  if (type_ == DataType::kDouble) doubles_.resize(out);
+  if (type_ == DataType::kString || type_ == DataType::kCategorical) {
+    strings_.resize(out);
+  }
+}
+
+}  // namespace lsg

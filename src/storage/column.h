@@ -1,0 +1,63 @@
+#ifndef LEARNEDSQLGEN_STORAGE_COLUMN_H_
+#define LEARNEDSQLGEN_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/data_type.h"
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace lsg {
+
+/// Typed columnar storage for one attribute. Values are appended in row
+/// order; NULLs are tracked in a validity bitmap. String and categorical
+/// data share the string representation.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  /// Appends a value. Type must match (ints may be appended to double
+  /// columns and are widened). Returns InvalidArgument on mismatch.
+  Status Append(const Value& v);
+
+  /// Appends a NULL.
+  void AppendNull();
+
+  bool IsNull(size_t row) const { return !valid_[row]; }
+
+  /// Materializes the cell as a Value (NULL-aware).
+  Value GetValue(size_t row) const;
+
+  /// Raw typed accessors; row must be non-NULL and of the right type.
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  const std::string& GetString(size_t row) const { return strings_[row]; }
+
+  /// Number of non-NULL cells.
+  size_t CountNonNull() const;
+
+  /// Distinct non-NULL values, sorted ascending (Value::Compare order).
+  std::vector<Value> DistinctValues() const;
+
+  /// Removes rows where keep[row] is false (used by DELETE dry-runs on
+  /// copies). keep.size() must equal size().
+  void FilterRows(const std::vector<bool>& keep);
+
+ private:
+  DataType type_;
+  std::vector<bool> valid_;
+  // Only the vector matching type_ is populated (doubles_ for kDouble,
+  // ints_ for kInt64, strings_ for kString/kCategorical).
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_STORAGE_COLUMN_H_

@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lsg {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table %s has %zu columns",
+                  values.size(), schema_.name().c_str(), columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null() && !schema_.column(i).nullable) {
+      return Status::InvalidArgument("NULL in non-nullable column " +
+                                     schema_.column(i).name);
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    LSG_RETURN_IF_ERROR(columns_[i].Append(values[i]));
+  }
+  ++num_rows_;
+  return Status::Ok();
+}
+
+std::string Table::DebugRows(size_t limit) const {
+  std::string out = schema_.ToString() + "\n";
+  size_t n = std::min(limit, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells.push_back(GetValue(r, c).ToString());
+    }
+    out += "  " + Join(cells, " | ") + "\n";
+  }
+  if (num_rows_ > n) out += StrFormat("  ... (%zu rows)\n", num_rows_);
+  return out;
+}
+
+Status Database::AddTable(Table table) {
+  LSG_RETURN_IF_ERROR(catalog_.AddTable(table.schema()));
+  tables_.push_back(std::move(table));
+  return Status::Ok();
+}
+
+Status Database::AddForeignKey(ForeignKey fk) {
+  return catalog_.AddForeignKey(std::move(fk));
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  for (const Table& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+Table* Database::FindMutableTable(const std::string& name) {
+  for (Table& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const Table& t : tables_) total += t.num_rows();
+  return total;
+}
+
+}  // namespace lsg

@@ -1,0 +1,84 @@
+#ifndef LEARNEDSQLGEN_STORAGE_TABLE_H_
+#define LEARNEDSQLGEN_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace lsg {
+
+/// A materialized in-memory table: a schema plus one Column per attribute.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Appends one row; values.size() must equal num_columns() and each value
+  /// must match its column's type (or be NULL for nullable columns).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Cell accessor.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  /// Renders the first `limit` rows for debugging.
+  std::string DebugRows(size_t limit) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// A database instance: schema catalog + table data. This is the
+/// "environment database D" the paper's agent interacts with.
+class Database {
+ public:
+  Database() = default;
+
+  /// Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Adds a table (schema is registered in the catalog automatically).
+  Status AddTable(Table table);
+
+  /// Registers a PK-FK edge (see Catalog::AddForeignKey).
+  Status AddForeignKey(ForeignKey fk);
+
+  const Catalog& catalog() const { return catalog_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Table lookup; returns nullptr if absent.
+  const Table* FindTable(const std::string& name) const;
+  Table* FindMutableTable(const std::string& name);
+
+  const std::vector<Table>& tables() const { return tables_; }
+
+  /// Total row count across tables (used to scale constraints to the data).
+  size_t TotalRows() const;
+
+ private:
+  Catalog catalog_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_STORAGE_TABLE_H_

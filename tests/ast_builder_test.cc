@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "sql/ast_builder.h"
+#include "sql/render.h"
+#include "tests/test_db.h"
+
+namespace lsg {
+namespace {
+
+Token Kw(Keyword k) {
+  Token t;
+  t.kind = TokenKind::kKeyword;
+  t.keyword = k;
+  t.text = KeywordText(k);
+  return t;
+}
+Token Tab(int idx) {
+  Token t;
+  t.kind = TokenKind::kTable;
+  t.table_idx = idx;
+  t.text = "table";
+  return t;
+}
+Token Col(int table, int col) {
+  Token t;
+  t.kind = TokenKind::kColumn;
+  t.column = {table, col};
+  t.text = "col";
+  return t;
+}
+Token Op(CompareOp op) {
+  Token t;
+  t.kind = TokenKind::kOperator;
+  t.op = op;
+  t.text = CompareOpText(op);
+  return t;
+}
+Token Val(Value v) {
+  Token t;
+  t.kind = TokenKind::kValue;
+  t.text = v.ToSqlLiteral();
+  t.value = std::move(v);
+  return t;
+}
+Token Eof() {
+  Token t;
+  t.kind = TokenKind::kEof;
+  t.text = "<EOF>";
+  return t;
+}
+
+class AstBuilderTest : public ::testing::Test {
+ protected:
+  AstBuilderTest() : db_(BuildScoreStudentDb()), builder_(&db_.catalog()) {}
+
+  void FeedAll(const std::vector<Token>& tokens) {
+    for (const Token& t : tokens) {
+      ASSERT_TRUE(builder_.Feed(t).ok())
+          << "token '" << t.text << "' in phase "
+          << BuildPhaseName(builder_.phase());
+    }
+  }
+
+  int score() { return db_.catalog().FindTable("Score"); }
+  int student() { return db_.catalog().FindTable("Student"); }
+
+  Database db_;
+  AstBuilder builder_;
+};
+
+TEST_F(AstBuilderTest, StartsAtStart) {
+  EXPECT_EQ(builder_.phase(), BuildPhase::kStart);
+  EXPECT_EQ(builder_.depth(), 1);
+  EXPECT_FALSE(builder_.done());
+  EXPECT_FALSE(builder_.IsExecutablePrefix());
+}
+
+TEST_F(AstBuilderTest, PaperExampleQuery) {
+  // "From Score Select ID Where Grade < 95 EOF" (Figure 1's walk-through).
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 1), Kw(Keyword::kWhere), Col(score(), 3),
+           Op(CompareOp::kLt), Val(Value(95.0)), Eof()});
+  EXPECT_TRUE(builder_.done());
+  const QueryAst& ast = builder_.ast();
+  EXPECT_EQ(ast.type, QueryType::kSelect);
+  ASSERT_EQ(ast.select->tables.size(), 1u);
+  ASSERT_EQ(ast.select->items.size(), 1u);
+  ASSERT_EQ(ast.select->where.predicates.size(), 1u);
+  EXPECT_EQ(ast.select->where.predicates[0].op, CompareOp::kLt);
+  std::string sql = RenderSql(ast, db_.catalog());
+  EXPECT_EQ(sql, "SELECT Score.ID FROM Score WHERE Score.Grade < 95");
+}
+
+TEST_F(AstBuilderTest, ExecutabilityEvolvesLikeThePaper) {
+  // Partial query "From Score Select ID" is executable; appending the bare
+  // "Where" keyword makes it non-executable (paper §3.2 gives it reward 0).
+  FeedAll({Kw(Keyword::kFrom), Tab(score())});
+  EXPECT_FALSE(builder_.IsExecutablePrefix());
+  FeedAll({Kw(Keyword::kSelect), Col(score(), 1)});
+  EXPECT_TRUE(builder_.IsExecutablePrefix());
+  FeedAll({Kw(Keyword::kWhere)});
+  EXPECT_FALSE(builder_.IsExecutablePrefix());
+  FeedAll({Col(score(), 3), Op(CompareOp::kLt)});
+  EXPECT_FALSE(builder_.IsExecutablePrefix());
+  FeedAll({Val(Value(95.0))});
+  EXPECT_TRUE(builder_.IsExecutablePrefix());
+}
+
+TEST_F(AstBuilderTest, JoinChain) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kJoin),
+           Tab(student()), Kw(Keyword::kSelect), Col(student(), 1), Eof()});
+  ASSERT_EQ(builder_.ast().select->tables.size(), 2u);
+  EXPECT_EQ(builder_.ast().select->NumJoins(), 1);
+}
+
+TEST_F(AstBuilderTest, AggregateItemsAndConnectors) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Kw(Keyword::kMax), Col(score(), 3), Kw(Keyword::kCount),
+           Col(score(), 2), Kw(Keyword::kWhere), Col(score(), 3),
+           Op(CompareOp::kGe), Val(Value(80.0)), Kw(Keyword::kAnd),
+           Col(score(), 2), Op(CompareOp::kEq), Val(Value("db")), Eof()});
+  const SelectQuery& q = *builder_.ast().select;
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_EQ(q.items[0].agg, AggFunc::kMax);
+  EXPECT_EQ(q.items[1].agg, AggFunc::kCount);
+  ASSERT_EQ(q.where.connectors.size(), 1u);
+  EXPECT_EQ(q.where.connectors[0], BoolConn::kAnd);
+}
+
+TEST_F(AstBuilderTest, GroupByRequiresSelectedNonAggColumns) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 2), Kw(Keyword::kMax), Col(score(), 3),
+           Kw(Keyword::kGroupBy)});
+  // Only Course (the non-agg item) is pending for GROUP BY.
+  ASSERT_EQ(builder_.frame().groupby_remaining.size(), 1u);
+  EXPECT_EQ(builder_.frame().groupby_remaining[0].column_idx, 2);
+  // A column that is not in the remaining set is rejected.
+  EXPECT_FALSE(builder_.Feed(Col(score(), 0)).ok());
+  FeedAll({Col(score(), 2)});
+  EXPECT_TRUE(builder_.frame().groupby_remaining.empty());
+  EXPECT_TRUE(builder_.IsExecutablePrefix());
+  FeedAll({Eof()});
+  ASSERT_TRUE(builder_.done());
+  EXPECT_EQ(builder_.ast().select->group_by.size(), 1u);
+}
+
+TEST_F(AstBuilderTest, HavingClause) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 2), Kw(Keyword::kGroupBy), Col(score(), 2),
+           Kw(Keyword::kHaving), Kw(Keyword::kAvg), Col(score(), 3),
+           Op(CompareOp::kGt), Val(Value(75.0)), Eof()});
+  const SelectQuery& q = *builder_.ast().select;
+  ASSERT_TRUE(q.having.has_value());
+  EXPECT_EQ(q.having->agg, AggFunc::kAvg);
+  EXPECT_EQ(q.having->op, CompareOp::kGt);
+}
+
+TEST_F(AstBuilderTest, ScalarSubquery) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Kw(Keyword::kWhere), Col(score(), 3),
+           Op(CompareOp::kGt), Kw(Keyword::kOpenParen)});
+  EXPECT_EQ(builder_.depth(), 2);
+  EXPECT_EQ(builder_.frame().purpose, FramePurpose::kScalarSub);
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Kw(Keyword::kAvg), Col(score(), 3), Kw(Keyword::kCloseParen)});
+  EXPECT_EQ(builder_.depth(), 1);
+  EXPECT_EQ(builder_.phase(), BuildPhase::kAfterPredicate);
+  FeedAll({Eof()});
+  const Predicate& p = builder_.ast().select->where.predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kScalarSub);
+  ASSERT_NE(p.subquery, nullptr);
+  EXPECT_EQ(p.subquery->items[0].agg, AggFunc::kAvg);
+}
+
+TEST_F(AstBuilderTest, InSubqueryWithInnerWhere) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Kw(Keyword::kWhere), Col(score(), 1),
+           Kw(Keyword::kIn), Kw(Keyword::kOpenParen), Kw(Keyword::kFrom),
+           Tab(student()), Kw(Keyword::kSelect), Col(student(), 0),
+           Kw(Keyword::kWhere), Col(student(), 2), Op(CompareOp::kEq),
+           Val(Value("F")), Kw(Keyword::kCloseParen), Eof()});
+  const Predicate& p = builder_.ast().select->where.predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kInSub);
+  EXPECT_EQ(p.subquery->where.predicates.size(), 1u);
+  EXPECT_EQ(builder_.ast().select->NestingDepth(), 1);
+}
+
+TEST_F(AstBuilderTest, NotExistsSubquery) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Kw(Keyword::kWhere), Kw(Keyword::kNot),
+           Kw(Keyword::kExists), Kw(Keyword::kOpenParen), Kw(Keyword::kFrom),
+           Tab(student()), Kw(Keyword::kSelect), Col(student(), 0),
+           Kw(Keyword::kCloseParen), Eof()});
+  const Predicate& p = builder_.ast().select->where.predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kExistsSub);
+  EXPECT_TRUE(p.negated);
+}
+
+TEST_F(AstBuilderTest, NestedSubqueryInsideSubquery) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Kw(Keyword::kWhere), Col(score(), 1),
+           Kw(Keyword::kIn), Kw(Keyword::kOpenParen), Kw(Keyword::kFrom),
+           Tab(student()), Kw(Keyword::kSelect), Col(student(), 0),
+           Kw(Keyword::kWhere), Col(student(), 0), Op(CompareOp::kGt),
+           Kw(Keyword::kOpenParen)});
+  EXPECT_EQ(builder_.depth(), 3);
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Kw(Keyword::kMin), Col(score(), 1), Kw(Keyword::kCloseParen),
+           Kw(Keyword::kCloseParen), Eof()});
+  EXPECT_TRUE(builder_.done());
+  EXPECT_EQ(builder_.ast().select->NestingDepth(), 2);
+}
+
+TEST_F(AstBuilderTest, InsertValuesFlow) {
+  FeedAll({Kw(Keyword::kInsert), Tab(student()), Kw(Keyword::kValues),
+           Val(Value(int64_t{77})), Val(Value("Zed"))});
+  EXPECT_FALSE(builder_.IsExecutablePrefix());  // one column still missing
+  FeedAll({Val(Value("M"))});
+  EXPECT_TRUE(builder_.IsExecutablePrefix());
+  FeedAll({Eof()});
+  EXPECT_EQ(builder_.ast().type, QueryType::kInsert);
+  EXPECT_EQ(builder_.ast().insert->values.size(), 3u);
+}
+
+TEST_F(AstBuilderTest, InsertSelectFlow) {
+  FeedAll({Kw(Keyword::kInsert), Tab(student()), Kw(Keyword::kOpenParen)});
+  EXPECT_EQ(builder_.frame().purpose, FramePurpose::kInsertSource);
+  EXPECT_EQ(builder_.frame().pinned_table, student());
+  FeedAll({Kw(Keyword::kFrom), Tab(student()), Kw(Keyword::kSelect),
+           Col(student(), 0), Col(student(), 1), Col(student(), 2),
+           Kw(Keyword::kWhere), Col(student(), 2), Op(CompareOp::kEq),
+           Val(Value("F")), Kw(Keyword::kCloseParen), Eof()});
+  ASSERT_NE(builder_.ast().insert->source, nullptr);
+  EXPECT_EQ(builder_.ast().insert->source->items.size(), 3u);
+}
+
+TEST_F(AstBuilderTest, UpdateFlow) {
+  FeedAll({Kw(Keyword::kUpdate), Tab(score()), Kw(Keyword::kSet),
+           Col(score(), 3), Val(Value(99.5))});
+  EXPECT_TRUE(builder_.IsExecutablePrefix());
+  FeedAll({Kw(Keyword::kWhere), Col(score(), 2), Op(CompareOp::kEq),
+           Val(Value("db")), Eof()});
+  const UpdateQuery& u = *builder_.ast().update;
+  EXPECT_EQ(u.set_column.column_idx, 3);
+  EXPECT_EQ(u.where.predicates.size(), 1u);
+}
+
+TEST_F(AstBuilderTest, UpdateSetColumnMustBelongToTable) {
+  FeedAll({Kw(Keyword::kUpdate), Tab(score()), Kw(Keyword::kSet)});
+  EXPECT_FALSE(builder_.Feed(Col(student(), 1)).ok());
+}
+
+TEST_F(AstBuilderTest, DeleteFlow) {
+  FeedAll({Kw(Keyword::kDelete), Tab(score())});
+  EXPECT_TRUE(builder_.IsExecutablePrefix());
+  FeedAll({Kw(Keyword::kWhere), Col(score(), 3), Op(CompareOp::kLe),
+           Val(Value(65.0)), Eof()});
+  EXPECT_EQ(builder_.ast().type, QueryType::kDelete);
+  EXPECT_EQ(builder_.ast().del->where.predicates.size(), 1u);
+}
+
+TEST_F(AstBuilderTest, IllegalTokensRejected) {
+  // SELECT cannot start a query (FROM-first generation order, §3.2).
+  EXPECT_FALSE(builder_.Feed(Kw(Keyword::kSelect)).ok());
+  EXPECT_FALSE(builder_.Feed(Val(Value(int64_t{1}))).ok());
+  EXPECT_FALSE(builder_.Feed(Op(CompareOp::kEq)).ok());
+  // FROM must be followed by a table, not a column.
+  ASSERT_TRUE(builder_.Feed(Kw(Keyword::kFrom)).ok());
+  EXPECT_FALSE(builder_.Feed(Col(score(), 0)).ok());
+}
+
+TEST_F(AstBuilderTest, EofIllegalMidQuery) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Kw(Keyword::kWhere)});
+  EXPECT_FALSE(builder_.Feed(Eof()).ok());
+}
+
+TEST_F(AstBuilderTest, FeedAfterDoneRejected) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Eof()});
+  EXPECT_EQ(builder_.Feed(Eof()).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AstBuilderTest, TokensRecorded) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Eof()});
+  EXPECT_EQ(builder_.tokens().size(), 5u);
+  EXPECT_EQ(builder_.tokens()[0].keyword, Keyword::kFrom);
+}
+
+TEST_F(AstBuilderTest, TakeAstMovesResult) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Eof()});
+  QueryAst ast = builder_.TakeAst();
+  EXPECT_EQ(ast.type, QueryType::kSelect);
+  ASSERT_NE(ast.select, nullptr);
+}
+
+TEST_F(AstBuilderTest, CloseParenAtTopLevelRejected) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0)});
+  EXPECT_FALSE(builder_.Feed(Kw(Keyword::kCloseParen)).ok());
+}
+
+TEST_F(AstBuilderTest, SubqueryCannotBeDml) {
+  FeedAll({Kw(Keyword::kFrom), Tab(score()), Kw(Keyword::kSelect),
+           Col(score(), 0), Kw(Keyword::kWhere), Col(score(), 3),
+           Op(CompareOp::kGt), Kw(Keyword::kOpenParen)});
+  EXPECT_FALSE(builder_.Feed(Kw(Keyword::kInsert)).ok());
+  EXPECT_FALSE(builder_.Feed(Kw(Keyword::kDelete)).ok());
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "baselines/random_generator.h"
+#include "baselines/template_generator.h"
+#include "tests/test_db.h"
+
+namespace lsg {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildScoreStudentDb();
+    stats_ = DatabaseStats::Collect(db_);
+    est_ = std::make_unique<CardinalityEstimator>(&db_, &stats_);
+    cost_ = std::make_unique<CostModel>(est_.get());
+    VocabularyOptions vo;
+    vo.values_per_column = 8;
+    auto v = Vocabulary::Build(db_, vo);
+    ASSERT_TRUE(v.ok());
+    vocab_ = std::move(v).value();
+  }
+
+  std::unique_ptr<SqlGenEnvironment> MakeEnv(Constraint c) {
+    EnvironmentOptions eo;
+    return std::make_unique<SqlGenEnvironment>(&db_, &*vocab_, est_.get(),
+                                               cost_.get(), c, eo);
+  }
+
+  Database db_;
+  DatabaseStats stats_;
+  std::unique_ptr<CardinalityEstimator> est_;
+  std::unique_ptr<CostModel> cost_;
+  std::optional<Vocabulary> vocab_;
+};
+
+// --------------------------------------------------------------- random
+
+TEST_F(BaselinesTest, RandomRolloutCompletes) {
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 50));
+  RandomGenerator gen(env.get(), 1);
+  for (int i = 0; i < 50; ++i) {
+    auto t = gen.Rollout();
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_TRUE(t->completed);
+    EXPECT_FALSE(t->actions.empty());
+  }
+}
+
+TEST_F(BaselinesTest, RandomBatchAccuracyInUnitRange) {
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 100));
+  RandomGenerator gen(env.get(), 2);
+  auto rep = gen.GenerateBatch(100);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->attempts, 100);
+  EXPECT_GE(rep->accuracy, 0.0);
+  EXPECT_LE(rep->accuracy, 1.0);
+  // Wide constraint on a 30-row database: random hits it regularly.
+  EXPECT_GT(rep->accuracy, 0.1);
+}
+
+TEST_F(BaselinesTest, RandomGenerateSatisfiedRespectsAttemptCap) {
+  // Impossible constraint: cardinality beyond the largest join result.
+  auto env =
+      MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1e9, 2e9));
+  RandomGenerator gen(env.get(), 3);
+  auto rep = gen.GenerateSatisfied(5, /*max_attempts=*/200);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->satisfied, 0);
+  EXPECT_EQ(rep->attempts, 200);
+}
+
+TEST_F(BaselinesTest, RandomGenerateSatisfiedFindsEasyTargets) {
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 100));
+  RandomGenerator gen(env.get(), 4);
+  auto rep = gen.GenerateSatisfied(5, 2000);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->satisfied, 5);
+  for (const GeneratedQuery& q : rep->queries) {
+    EXPECT_TRUE(q.satisfied);
+    EXPECT_FALSE(q.sql.empty());
+  }
+}
+
+TEST_F(BaselinesTest, RandomIsDeterministicPerSeed) {
+  auto env1 = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 50));
+  auto env2 = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 50));
+  RandomGenerator a(env1.get(), 42), b(env2.get(), 42);
+  for (int i = 0; i < 10; ++i) {
+    auto ta = a.Rollout();
+    auto tb = b.Rollout();
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    EXPECT_EQ(ta->actions, tb->actions);
+  }
+}
+
+// -------------------------------------------------------------- template
+
+TEST_F(BaselinesTest, TemplatePoolMined) {
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 5, 25));
+  TemplateGeneratorOptions topts;
+  topts.num_templates = 10;
+  TemplateGenerator gen(env.get(), topts);
+  EXPECT_GT(gen.pool_size(), 0);
+  EXPECT_LE(gen.pool_size(), 10);
+}
+
+TEST_F(BaselinesTest, TemplateClimbsTowardEasyRange) {
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 50));
+  TemplateGeneratorOptions topts;
+  topts.num_templates = 12;
+  TemplateGenerator gen(env.get(), topts);
+  auto rep = gen.GenerateSatisfied(3, /*max_attempts=*/20000);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->satisfied, 3);
+  for (const GeneratedQuery& q : rep->queries) {
+    EXPECT_GE(q.metric, 1.0);
+    EXPECT_LE(q.metric, 50.0);
+  }
+}
+
+TEST_F(BaselinesTest, TemplateBatchReportsAccuracy) {
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 60));
+  TemplateGeneratorOptions topts;
+  topts.num_templates = 12;
+  TemplateGenerator gen(env.get(), topts);
+  auto rep = gen.GenerateBatch(30);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->attempts, 30);
+  EXPECT_GE(rep->accuracy, 0.0);
+  EXPECT_LE(rep->accuracy, 1.0);
+}
+
+TEST_F(BaselinesTest, TemplateCannotReachImpossibleTarget) {
+  // The paper's Customer < x anecdote: no predicate tweak reaches a
+  // cardinality above the join space (§7.2.2).
+  auto env =
+      MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1e9, 2e9));
+  TemplateGeneratorOptions topts;
+  topts.num_templates = 8;
+  TemplateGenerator gen(env.get(), topts);
+  auto rep = gen.GenerateSatisfied(1, /*max_attempts=*/3000);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->satisfied, 0);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/adam.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+#include "nn/serialize.h"
+
+namespace lsg {
+namespace {
+
+// ---------------------------------------------------------------- matrix
+
+TEST(MatrixTest, ZerosAndShape) {
+  Matrix m = Matrix::Zeros(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.f);
+}
+
+TEST(MatrixTest, RandnStatistics) {
+  Rng rng(5);
+  Matrix m = Matrix::Randn(50, 50, 0.5f, &rng);
+  double sum = 0, sq = 0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += m.data()[i] * m.data()[i];
+  }
+  double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.5, 0.03);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix w(2, 3);
+  // [[1,2,3],[4,5,6]] * [1,1,1] = [6,15]
+  for (int i = 0; i < 6; ++i) w.data()[i] = static_cast<float>(i + 1);
+  float x[3] = {1, 1, 1};
+  float y[2];
+  MatVec(w, x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.f);
+  EXPECT_FLOAT_EQ(y[1], 15.f);
+  MatVecAccum(w, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.f);
+}
+
+TEST(MatrixTest, MatTVecAccum) {
+  Matrix w(2, 3);
+  for (int i = 0; i < 6; ++i) w.data()[i] = static_cast<float>(i + 1);
+  float dy[2] = {1, 1};
+  float dx[3] = {0, 0, 0};
+  MatTVecAccum(w, dy, dx);
+  EXPECT_FLOAT_EQ(dx[0], 5.f);   // 1+4
+  EXPECT_FLOAT_EQ(dx[1], 7.f);   // 2+5
+  EXPECT_FLOAT_EQ(dx[2], 9.f);   // 3+6
+}
+
+TEST(MatrixTest, OuterAccum) {
+  Matrix dw = Matrix::Zeros(2, 2);
+  float dy[2] = {1, 2};
+  float x[2] = {3, 4};
+  OuterAccum(&dw, dy, x);
+  EXPECT_FLOAT_EQ(dw.at(0, 0), 3.f);
+  EXPECT_FLOAT_EQ(dw.at(0, 1), 4.f);
+  EXPECT_FLOAT_EQ(dw.at(1, 0), 6.f);
+  EXPECT_FLOAT_EQ(dw.at(1, 1), 8.f);
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  std::vector<float> v = {1.f, 2.f, 3.f};
+  SoftmaxInPlace(&v);
+  float sum = v[0] + v[1] + v[2];
+  EXPECT_NEAR(sum, 1.f, 1e-6);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(SoftmaxTest, StableWithLargeLogits) {
+  std::vector<float> v = {1000.f, 1001.f};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0] + v[1], 1.f, 1e-6);
+  EXPECT_FALSE(std::isnan(v[0]));
+}
+
+TEST(MaskedSoftmaxTest, MaskedEntriesZero) {
+  std::vector<float> v = {5.f, 1.f, 2.f, 3.f};
+  std::vector<uint8_t> mask = {0, 1, 1, 0};
+  MaskedSoftmaxInPlace(&v, mask);
+  EXPECT_FLOAT_EQ(v[0], 0.f);
+  EXPECT_FLOAT_EQ(v[3], 0.f);
+  EXPECT_NEAR(v[1] + v[2], 1.f, 1e-6);
+  EXPECT_GT(v[2], v[1]);
+}
+
+TEST(ClipGradNormTest, RescalesAboveThreshold) {
+  ParamTensor p("p", Matrix::Zeros(1, 4));
+  for (int i = 0; i < 4; ++i) p.grad.data()[i] = 3.f;  // norm 6
+  double norm = ClipGradNorm({&p}, 3.0);
+  EXPECT_NEAR(norm, 6.0, 1e-5);
+  double after = 0;
+  for (int i = 0; i < 4; ++i) after += p.grad.data()[i] * p.grad.data()[i];
+  EXPECT_NEAR(std::sqrt(after), 3.0, 1e-5);
+}
+
+TEST(ClipGradNormTest, NoRescaleBelowThreshold) {
+  ParamTensor p("p", Matrix::Zeros(1, 2));
+  p.grad.data()[0] = 1.f;
+  ClipGradNorm({&p}, 10.0);
+  EXPECT_FLOAT_EQ(p.grad.data()[0], 1.f);
+}
+
+// ------------------------------------------------- numerical gradients
+
+/// Central-difference gradient of `loss` w.r.t. one parameter entry.
+template <typename LossFn>
+double NumericalGrad(float* entry, double eps, const LossFn& loss) {
+  float orig = *entry;
+  *entry = static_cast<float>(orig + eps);
+  double up = loss();
+  *entry = static_cast<float>(orig - eps);
+  double down = loss();
+  *entry = orig;
+  return (up - down) / (2.0 * eps);
+}
+
+TEST(LinearGradientTest, MatchesNumerical) {
+  Rng rng(11);
+  Linear lin(4, 3, &rng);
+  std::vector<float> x = {0.5f, -1.0f, 0.25f, 2.0f};
+  std::vector<float> c = {1.0f, -2.0f, 0.5f};  // loss = dot(y, c)
+
+  auto loss = [&]() {
+    float y[3];
+    lin.Forward(x.data(), y);
+    return static_cast<double>(y[0] * c[0] + y[1] * c[1] + y[2] * c[2]);
+  };
+
+  std::vector<float> dx(4, 0.f);
+  lin.Backward(x.data(), c.data(), dx.data());
+
+  auto params = lin.Params();
+  for (ParamTensor* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double num = NumericalGrad(&p->value.data()[i], 1e-3, loss);
+      EXPECT_NEAR(p->grad.data()[i], num, 5e-3)
+          << p->name << "[" << i << "]";
+    }
+  }
+  // Input gradient = W^T c; check numerically too.
+  for (int i = 0; i < 4; ++i) {
+    double num = NumericalGrad(&x[i], 1e-3, loss);
+    EXPECT_NEAR(dx[i], num, 5e-3);
+  }
+}
+
+TEST(LstmCellGradientTest, MatchesNumerical) {
+  Rng rng(13);
+  const int in = 3, hid = 4;
+  LstmCell cell(in, hid, &rng);
+  std::vector<float> x = {0.3f, -0.7f, 1.1f};
+  std::vector<float> h0 = {0.1f, -0.2f, 0.05f, 0.4f};
+  std::vector<float> c0 = {0.2f, 0.1f, -0.3f, 0.0f};
+  std::vector<float> ch = {1.f, -1.f, 0.5f, 2.f};
+  std::vector<float> cc = {0.3f, 0.7f, -0.2f, 1.f};
+
+  auto loss = [&]() {
+    LstmCell::Cache cache;
+    cell.Forward(x.data(), h0.data(), c0.data(), &cache);
+    double l = 0;
+    for (int k = 0; k < hid; ++k) {
+      l += cache.h[k] * ch[k] + cache.c[k] * cc[k];
+    }
+    return l;
+  };
+
+  LstmCell::Cache cache;
+  cell.Forward(x.data(), h0.data(), c0.data(), &cache);
+  std::vector<float> dh_prev(hid), dc_prev(hid), dx(in, 0.f);
+  cell.Backward(cache, ch.data(), cc.data(), dh_prev.data(), dc_prev.data(),
+                dx.data());
+
+  for (ParamTensor* p : cell.Params()) {
+    // Sample entries to keep the test fast while covering all tensors.
+    for (size_t i = 0; i < p->value.size(); i += 3) {
+      double num = NumericalGrad(&p->value.data()[i], 1e-3, loss);
+      EXPECT_NEAR(p->grad.data()[i], num, 2e-2) << p->name << "[" << i << "]";
+    }
+  }
+  for (int i = 0; i < in; ++i) {
+    double num = NumericalGrad(&x[i], 1e-3, loss);
+    EXPECT_NEAR(dx[i], num, 2e-2);
+  }
+  for (int i = 0; i < hid; ++i) {
+    double num_h = NumericalGrad(&h0[i], 1e-3, loss);
+    EXPECT_NEAR(dh_prev[i], num_h, 2e-2);
+    double num_c = NumericalGrad(&c0[i], 1e-3, loss);
+    EXPECT_NEAR(dc_prev[i], num_c, 2e-2);
+  }
+}
+
+TEST(LstmCellGradientTest, OneHotPathMatchesDense) {
+  Rng rng(17);
+  const int in = 5, hid = 3;
+  LstmCell cell(in, hid, &rng);
+  std::vector<float> h0(hid, 0.1f), c0(hid, -0.1f);
+  // Dense one-hot input.
+  std::vector<float> x(in, 0.f);
+  x[2] = 1.f;
+  LstmCell::Cache dense, onehot;
+  cell.Forward(x.data(), h0.data(), c0.data(), &dense);
+  cell.ForwardOneHot(2, h0.data(), c0.data(), &onehot);
+  for (int k = 0; k < hid; ++k) {
+    EXPECT_FLOAT_EQ(dense.h[k], onehot.h[k]);
+    EXPECT_FLOAT_EQ(dense.c[k], onehot.c[k]);
+  }
+}
+
+TEST(LstmStackGradientTest, BpttMatchesNumerical) {
+  Rng rng(19);
+  const int vocab = 6, hid = 4, layers = 2;
+  LstmStack stack(vocab, hid, layers, /*dropout=*/0.f, &rng);
+  std::vector<int> tokens = {1, 4, 2};
+  std::vector<std::vector<float>> coef = {
+      {1.f, 0.f, -1.f, 0.5f},
+      {0.f, 2.f, 0.f, -0.5f},
+      {1.f, 1.f, 1.f, 1.f},
+  };
+
+  Rng dummy(0);
+  auto loss = [&]() {
+    LstmStack::State st = stack.InitialState();
+    double l = 0;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      const std::vector<float>& h =
+          stack.Step(tokens[t], &st, nullptr, false, &dummy);
+      for (int k = 0; k < hid; ++k) l += h[k] * coef[t][k];
+    }
+    return l;
+  };
+
+  // Forward with caches, then BPTT.
+  LstmStack::State st = stack.InitialState();
+  std::vector<LstmStack::StepCache> caches(tokens.size());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    stack.Step(tokens[t], &st, &caches[t], true, &dummy);
+  }
+  stack.Backward(caches, coef);
+
+  int checked = 0;
+  for (ParamTensor* p : stack.Params()) {
+    for (size_t i = 0; i < p->value.size(); i += 7) {
+      double num = NumericalGrad(&p->value.data()[i], 1e-3, loss);
+      EXPECT_NEAR(p->grad.data()[i], num, 3e-2) << p->name << "[" << i << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 40);
+}
+
+// ---------------------------------------------------------------- dropout
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout d(0.5f);
+  Rng rng(23);
+  std::vector<float> x = {1.f, 2.f, 3.f};
+  std::vector<float> mask;
+  d.Forward(&x, &mask, /*train=*/false, &rng);
+  EXPECT_TRUE(mask.empty());
+  EXPECT_FLOAT_EQ(x[1], 2.f);
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Dropout d(0.3f);
+  Rng rng(29);
+  const int n = 20000;
+  std::vector<float> x(n, 1.f);
+  std::vector<float> mask;
+  d.Forward(&x, &mask, /*train=*/true, &rng);
+  int zeros = 0;
+  double sum = 0;
+  for (float v : x) {
+    if (v == 0.f) ++zeros;
+    sum += v;
+  }
+  EXPECT_NEAR(zeros / static_cast<double>(n), 0.3, 0.02);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardRoutesThroughMask) {
+  std::vector<float> mask = {0.f, 2.f};
+  std::vector<float> dx = {5.f, 5.f};
+  Dropout::Backward(mask, &dx);
+  EXPECT_FLOAT_EQ(dx[0], 0.f);
+  EXPECT_FLOAT_EQ(dx[1], 10.f);
+}
+
+// ---------------------------------------------------------------- adam
+
+TEST(AdamTest, MinimizesQuadratic) {
+  ParamTensor w("w", Matrix::Zeros(1, 1));
+  w.value.data()[0] = 10.f;
+  Adam opt({&w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    // d/dw 0.5 (w - 3)^2 = w - 3
+    w.grad.data()[0] = w.value.data()[0] - 3.f;
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value.data()[0], 3.f, 0.05);
+  EXPECT_EQ(opt.steps(), 500);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  ParamTensor w("w", Matrix::Zeros(1, 1));
+  Adam opt({&w}, 0.01f);
+  w.grad.data()[0] = 1.f;
+  opt.Step();
+  EXPECT_FLOAT_EQ(w.grad.data()[0], 0.f);
+}
+
+TEST(AdamTest, ZeroGradDiscards) {
+  ParamTensor w("w", Matrix::Zeros(1, 1));
+  Adam opt({&w}, 0.01f);
+  w.grad.data()[0] = 1.f;
+  float before = w.value.data()[0];
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(w.grad.data()[0], 0.f);
+  EXPECT_FLOAT_EQ(w.value.data()[0], before);
+}
+
+// ------------------------------------------------------------- serialize
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(31);
+  Linear a(3, 2, &rng);
+  Linear b(3, 2, &rng);
+  std::string path = std::filesystem::temp_directory_path() /
+                     "lsg_serialize_test.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+  ASSERT_TRUE(LoadParams(b.Params(), path).ok());
+  auto pa = a.Params();
+  auto pb = b.Params();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (size_t k = 0; k < pa[i]->value.size(); ++k) {
+      EXPECT_FLOAT_EQ(pa[i]->value.data()[k], pb[i]->value.data()[k]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(37);
+  Linear a(3, 2, &rng);
+  Linear b(4, 2, &rng);
+  std::string path = std::filesystem::temp_directory_path() /
+                     "lsg_serialize_mismatch.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+  EXPECT_FALSE(LoadParams(b.Params(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  Rng rng(41);
+  Linear a(2, 2, &rng);
+  EXPECT_EQ(LoadParams(a.Params(), "/nonexistent/dir/x.bin").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality_estimator.h"
+#include "optimizer/column_stats.h"
+#include "optimizer/cost_model.h"
+#include "tests/test_db.h"
+
+namespace lsg {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  StatsTest() : db_(BuildScoreStudentDb()), stats_(DatabaseStats::Collect(db_)) {}
+  int score() { return db_.catalog().FindTable("Score"); }
+  int student() { return db_.catalog().FindTable("Student"); }
+  Database db_;
+  DatabaseStats stats_;
+};
+
+TEST_F(StatsTest, RowCounts) {
+  EXPECT_EQ(stats_.table_rows[score()], 30u);
+  EXPECT_EQ(stats_.table_rows[student()], 10u);
+}
+
+TEST_F(StatsTest, NdvAndRange) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  EXPECT_EQ(grade.ndv, 30u);
+  EXPECT_DOUBLE_EQ(grade.min, 60.0);
+  EXPECT_DOUBLE_EQ(grade.max, 99.0);
+  EXPECT_NEAR(grade.mean, 79.5, 1e-9);
+  const ColumnStats& course = stats_.at({score(), 2});
+  EXPECT_EQ(course.ndv, 3u);
+}
+
+TEST_F(StatsTest, NullCounting) {
+  Column c(DataType::kInt64);
+  ASSERT_TRUE(c.Append(Value(int64_t{1})).ok());
+  c.AppendNull();
+  c.AppendNull();
+  ColumnStats s = StatsCollector().Analyze(c);
+  EXPECT_EQ(s.row_count, 3u);
+  EXPECT_EQ(s.null_count, 2u);
+  EXPECT_EQ(s.ndv, 1u);
+}
+
+TEST_F(StatsTest, McvFrequencies) {
+  const ColumnStats& course = stats_.at({score(), 2});
+  ASSERT_EQ(course.mcv_values.size(), 3u);
+  double total = 0.0;
+  for (double f : course.mcv_freqs) {
+    EXPECT_NEAR(f, 1.0 / 3.0, 1e-9);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(StatsTest, EqSelectivityMcvExact) {
+  const ColumnStats& course = stats_.at({score(), 2});
+  EXPECT_NEAR(course.EqSelectivity(Value("db")), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(course.EqSelectivity(Value("nope")), 0.0, 0.05);
+}
+
+TEST_F(StatsTest, EqSelectivityOutOfRangeNumericIsZero) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  EXPECT_DOUBLE_EQ(grade.EqSelectivity(Value(500.0)), 0.0);
+  EXPECT_DOUBLE_EQ(grade.EqSelectivity(Value(-5.0)), 0.0);
+}
+
+TEST_F(StatsTest, LtSelectivityMonotone) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  double prev = -1.0;
+  for (double v : {55.0, 65.0, 75.0, 85.0, 95.0, 105.0}) {
+    double s = grade.LtSelectivity(Value(v));
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(grade.LtSelectivity(Value(55.0)), 0.0);
+  EXPECT_DOUBLE_EQ(grade.LtSelectivity(Value(120.0)), 1.0);
+}
+
+TEST_F(StatsTest, LtSelectivityNearTruth) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  // True fraction below 70 is 8/30.
+  EXPECT_NEAR(grade.LtSelectivity(Value(70.0)), 8.0 / 30.0, 0.08);
+}
+
+TEST_F(StatsTest, SelectivityOperatorAlgebra) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  Value v(80.0);
+  double lt = grade.Selectivity(CompareOp::kLt, v);
+  double eq = grade.Selectivity(CompareOp::kEq, v);
+  double gt = grade.Selectivity(CompareOp::kGt, v);
+  EXPECT_NEAR(lt + eq + gt, 1.0, 1e-6);
+  EXPECT_NEAR(grade.Selectivity(CompareOp::kLe, v), lt + eq, 1e-9);
+  EXPECT_NEAR(grade.Selectivity(CompareOp::kGe, v), gt + eq, 1e-9);
+  EXPECT_NEAR(grade.Selectivity(CompareOp::kNe, v), 1.0 - eq, 1e-6);
+}
+
+TEST_F(StatsTest, SelectivityInUnitInterval) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  for (int op = 0; op < static_cast<int>(CompareOp::kNumOps); ++op) {
+    for (double v : {-100.0, 60.0, 79.5, 99.0, 1000.0}) {
+      double s = grade.Selectivity(static_cast<CompareOp>(op), Value(v));
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_F(StatsTest, HistogramBoundsCoverDomain) {
+  const ColumnStats& grade = stats_.at({score(), 3});
+  ASSERT_GE(grade.histogram_bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(grade.histogram_bounds.front(), 60.0);
+  EXPECT_DOUBLE_EQ(grade.histogram_bounds.back(), 99.0);
+  for (size_t i = 1; i < grade.histogram_bounds.size(); ++i) {
+    EXPECT_LE(grade.histogram_bounds[i - 1], grade.histogram_bounds[i]);
+  }
+}
+
+// ------------------------------------------------------------- estimator
+
+class EstimatorTest : public StatsTest {
+ protected:
+  EstimatorTest() : est_(&db_, &stats_), exec_(&db_) {}
+  CardinalityEstimator est_;
+  Executor exec_;
+};
+
+TEST_F(EstimatorTest, FullScanExact) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  EXPECT_DOUBLE_EQ(est_.EstimateSelect(q, nullptr), 30.0);
+}
+
+TEST_F(EstimatorTest, EqFilterNearTruth) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.column = {score(), 2};
+  p.op = CompareOp::kEq;
+  p.value = Value("db");
+  q.where.predicates.push_back(std::move(p));
+  EXPECT_NEAR(est_.EstimateSelect(q, nullptr), 10.0, 1.0);
+}
+
+TEST_F(EstimatorTest, FkJoinNearTruth) {
+  SelectQuery q;
+  q.tables = {score(), student()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  // |Score| * |Student| / max(ndv) = 30*10/10 = 30 (exact here).
+  EXPECT_NEAR(est_.EstimateSelect(q, nullptr), 30.0, 1.0);
+}
+
+TEST_F(EstimatorTest, AggregateCollapsesToOne) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kMax, {score(), 3}});
+  EXPECT_DOUBLE_EQ(est_.EstimateSelect(q, nullptr), 1.0);
+}
+
+TEST_F(EstimatorTest, GroupByUsesNdv) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 2}});
+  q.group_by.push_back({score(), 2});
+  EXPECT_NEAR(est_.EstimateSelect(q, nullptr), 3.0, 0.5);
+}
+
+TEST_F(EstimatorTest, HavingShrinksGroups) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 2}});
+  q.group_by.push_back({score(), 2});
+  double no_having = est_.EstimateSelect(q, nullptr);
+  q.having = HavingClause{AggFunc::kCount, {score(), 3}, CompareOp::kGt,
+                          Value(int64_t{3})};
+  EXPECT_LT(est_.EstimateSelect(q, nullptr), no_having);
+}
+
+TEST_F(EstimatorTest, ScalarSubqueryEstimatesAggValue) {
+  SelectQuery sub;
+  sub.tables = {score()};
+  sub.items.push_back({AggFunc::kAvg, {score(), 3}});
+  Value v = est_.EstimateScalar(sub);
+  ASSERT_TRUE(v.is_numeric());
+  EXPECT_NEAR(v.AsNumber(), 79.5, 1e-6);
+
+  sub.items[0].agg = AggFunc::kMax;
+  EXPECT_NEAR(est_.EstimateScalar(sub).AsNumber(), 99.0, 1e-6);
+  sub.items[0].agg = AggFunc::kCount;
+  EXPECT_NEAR(est_.EstimateScalar(sub).AsNumber(), 30.0, 1e-6);
+}
+
+TEST_F(EstimatorTest, InSubquerySelectivity) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.kind = PredicateKind::kInSub;
+  p.column = {score(), 1};
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {student()};
+  p.subquery->items.push_back({AggFunc::kNone, {student(), 0}});
+  q.where.predicates.push_back(std::move(p));
+  // All 10 student ids covered -> selectivity ~1 -> ~30 rows.
+  EXPECT_NEAR(est_.EstimateSelect(q, nullptr), 30.0, 3.0);
+}
+
+TEST_F(EstimatorTest, ExistsSelectivityBoolean) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.kind = PredicateKind::kExistsSub;
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {student()};
+  p.subquery->items.push_back({AggFunc::kNone, {student(), 0}});
+  q.where.predicates.push_back(std::move(p));
+  // Subquery has ~10 rows -> EXISTS true -> all rows kept.
+  EXPECT_NEAR(est_.EstimateSelect(q, nullptr), 30.0, 1.0);
+}
+
+TEST_F(EstimatorTest, DmlEstimates) {
+  QueryAst upd;
+  upd.type = QueryType::kUpdate;
+  upd.update = std::make_unique<UpdateQuery>();
+  upd.update->table_idx = score();
+  Predicate p;
+  p.column = {score(), 2};
+  p.op = CompareOp::kEq;
+  p.value = Value("db");
+  upd.update->where.predicates.push_back(std::move(p));
+  EXPECT_NEAR(est_.EstimateCardinality(upd), 10.0, 1.0);
+
+  QueryAst ins;
+  ins.type = QueryType::kInsert;
+  ins.insert = std::make_unique<InsertQuery>();
+  ins.insert->table_idx = student();
+  ins.insert->values = {Value(int64_t{1}), Value("a"), Value("F")};
+  EXPECT_DOUBLE_EQ(est_.EstimateCardinality(ins), 1.0);
+}
+
+TEST_F(EstimatorTest, DetailStagesConsistent) {
+  SelectQuery q;
+  q.tables = {score(), student()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.column = {score(), 3};
+  p.op = CompareOp::kLt;
+  p.value = Value(70.0);
+  q.where.predicates.push_back(std::move(p));
+  EstimateDetail d;
+  double out = est_.EstimateSelect(q, &d);
+  EXPECT_DOUBLE_EQ(d.base_rows, 40.0);
+  EXPECT_GT(d.join_output, 0.0);
+  EXPECT_LE(d.after_where, d.join_output);
+  EXPECT_DOUBLE_EQ(d.output_rows, out);
+}
+
+/// Property sweep: estimates stay within a bounded q-error of the truth for
+/// single-predicate range queries across the whole grade domain.
+class QErrorSweep : public EstimatorTest,
+                    public ::testing::WithParamInterface<int> {};
+
+TEST_P(QErrorSweep, RangePredicateQError) {
+  double threshold = 58.0 + GetParam() * 4.0;
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.column = {score(), 3};
+  p.op = CompareOp::kLt;
+  p.value = Value(threshold);
+  q.where.predicates.push_back(std::move(p));
+  double est = est_.EstimateSelect(q, nullptr);
+  auto truth = exec_.ExecuteSelect(q, false);
+  ASSERT_TRUE(truth.ok());
+  double t = static_cast<double>(truth->cardinality);
+  double qerr = std::max((est + 1.0) / (t + 1.0), (t + 1.0) / (est + 1.0));
+  EXPECT_LT(qerr, 3.0) << "threshold=" << threshold << " est=" << est
+                       << " truth=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(GradeThresholds, QErrorSweep,
+                         ::testing::Range(0, 12));
+
+// ------------------------------------------------------------- cost model
+
+class CostModelTest : public EstimatorTest {
+ protected:
+  CostModelTest() : cost_(&est_) {}
+  CostModel cost_;
+};
+
+TEST_F(CostModelTest, ScanCostPositiveAndMonotoneInRows) {
+  SelectQuery small;
+  small.tables = {student()};
+  small.items.push_back({AggFunc::kNone, {student(), 0}});
+  SelectQuery big;
+  big.tables = {score()};
+  big.items.push_back({AggFunc::kNone, {score(), 0}});
+  EXPECT_GT(cost_.SelectCost(small), 0.0);
+  EXPECT_GT(cost_.SelectCost(big), cost_.SelectCost(small));
+}
+
+TEST_F(CostModelTest, JoinCostsMoreThanScan) {
+  SelectQuery scan;
+  scan.tables = {score()};
+  scan.items.push_back({AggFunc::kNone, {score(), 0}});
+  double scan_cost = cost_.SelectCost(scan);
+  scan.tables.push_back(student());
+  EXPECT_GT(cost_.SelectCost(scan), scan_cost);
+}
+
+TEST_F(CostModelTest, SubqueryAddsCost) {
+  SelectQuery q;
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  double base = cost_.SelectCost(q);
+  Predicate p;
+  p.kind = PredicateKind::kScalarSub;
+  p.column = {score(), 3};
+  p.op = CompareOp::kGt;
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {score()};
+  p.subquery->items.push_back({AggFunc::kAvg, {score(), 3}});
+  q.where.predicates.push_back(std::move(p));
+  EXPECT_GT(cost_.SelectCost(q), base);
+}
+
+TEST_F(CostModelTest, DmlCostScalesWithAffectedRows) {
+  QueryAst narrow;
+  narrow.type = QueryType::kDelete;
+  narrow.del = std::make_unique<DeleteQuery>();
+  narrow.del->table_idx = score();
+  Predicate p;
+  p.column = {score(), 3};
+  p.op = CompareOp::kLt;
+  p.value = Value(61.0);
+  narrow.del->where.predicates.push_back(std::move(p));
+
+  QueryAst wide;
+  wide.type = QueryType::kDelete;
+  wide.del = std::make_unique<DeleteQuery>();
+  wide.del->table_idx = score();
+  EXPECT_GT(cost_.EstimateCost(wide), cost_.EstimateCost(narrow));
+}
+
+TEST_F(CostModelTest, TrueCostFromMeasuredStats) {
+  SelectQuery q;
+  q.tables = {score(), student()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  auto r = exec_.ExecuteSelect(q, false);
+  ASSERT_TRUE(r.ok());
+  double tc = cost_.TrueCost(r->stats, static_cast<double>(r->cardinality));
+  EXPECT_GT(tc, 0.0);
+  // Same order of magnitude as the estimate (both priced by one model).
+  double est_cost = cost_.SelectCost(q);
+  EXPECT_LT(std::abs(std::log10(tc / est_cost)), 1.0);
+}
+
+TEST_F(CostModelTest, InsertValuesIsCheap) {
+  QueryAst ins;
+  ins.type = QueryType::kInsert;
+  ins.insert = std::make_unique<InsertQuery>();
+  ins.insert->table_idx = student();
+  ins.insert->values = {Value(int64_t{1}), Value("a"), Value("F")};
+  SelectQuery scan;
+  scan.tables = {score()};
+  scan.items.push_back({AggFunc::kNone, {score(), 0}});
+  EXPECT_LT(cost_.EstimateCost(ins), cost_.SelectCost(scan));
+}
+
+}  // namespace
+}  // namespace lsg

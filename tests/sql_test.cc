@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sql/ast.h"
+#include "sql/render.h"
+#include "sql/token.h"
+#include "sql/vocabulary.h"
+#include "tests/test_db.h"
+
+namespace lsg {
+namespace {
+
+// ---------------------------------------------------------------- tokens
+
+TEST(TokenTest, KeywordTexts) {
+  EXPECT_STREQ(KeywordText(Keyword::kSelect), "SELECT");
+  EXPECT_STREQ(KeywordText(Keyword::kGroupBy), "GROUP BY");
+  EXPECT_STREQ(KeywordText(Keyword::kInsert), "INSERT INTO");
+  EXPECT_STREQ(KeywordText(Keyword::kDelete), "DELETE FROM");
+}
+
+TEST(TokenTest, OperatorTexts) {
+  EXPECT_STREQ(CompareOpText(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpText(CompareOp::kNe), "<>");
+  EXPECT_STREQ(CompareOpText(CompareOp::kEq), "=");
+}
+
+TEST(TokenTest, AggregateKeywords) {
+  EXPECT_TRUE(IsAggregateKeyword(Keyword::kMax));
+  EXPECT_TRUE(IsAggregateKeyword(Keyword::kCount));
+  EXPECT_FALSE(IsAggregateKeyword(Keyword::kSelect));
+  EXPECT_FALSE(IsAggregateKeyword(Keyword::kIn));
+}
+
+// ---------------------------------------------------------------- vocab
+
+class VocabularyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildScoreStudentDb();
+    VocabularyOptions opts;
+    opts.values_per_column = 5;
+    auto v = Vocabulary::Build(db_, opts);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    vocab_ = std::move(v).value();
+  }
+  Database db_;
+  std::optional<Vocabulary> vocab_;
+};
+
+TEST_F(VocabularyTest, ContainsAllFixedTokenClasses) {
+  // Keywords + operators + 2 tables + 7 columns + values + EOF.
+  EXPECT_GT(vocab_->size(),
+            static_cast<int>(Keyword::kNumKeywords) +
+                static_cast<int>(CompareOp::kNumOps) + 2 + 7);
+  EXPECT_EQ(vocab_->token(vocab_->eof_id()).kind, TokenKind::kEof);
+}
+
+TEST_F(VocabularyTest, IdsRoundTrip) {
+  for (int id = 0; id < vocab_->size(); ++id) {
+    EXPECT_EQ(vocab_->token(id).id, id);
+  }
+}
+
+TEST_F(VocabularyTest, KeywordLookup) {
+  int id = vocab_->keyword_id(Keyword::kWhere);
+  EXPECT_EQ(vocab_->token(id).kind, TokenKind::kKeyword);
+  EXPECT_EQ(vocab_->token(id).keyword, Keyword::kWhere);
+}
+
+TEST_F(VocabularyTest, OperatorLookup) {
+  int id = vocab_->operator_id(CompareOp::kGe);
+  EXPECT_EQ(vocab_->token(id).kind, TokenKind::kOperator);
+  EXPECT_EQ(vocab_->token(id).op, CompareOp::kGe);
+}
+
+TEST_F(VocabularyTest, TableAndColumnLookup) {
+  int sid = vocab_->table_token_id(db_.catalog().FindTable("Score"));
+  EXPECT_EQ(vocab_->token(sid).kind, TokenKind::kTable);
+  EXPECT_EQ(vocab_->token(sid).text, "Score");
+  int cid = vocab_->column_token_id(db_.catalog().FindTable("Score"), 3);
+  EXPECT_EQ(vocab_->token(cid).kind, TokenKind::kColumn);
+  EXPECT_EQ(vocab_->token(cid).text, "Score.Grade");
+}
+
+TEST_F(VocabularyTest, NumericValuesSampledToK) {
+  int score = db_.catalog().FindTable("Score");
+  // Grade has many distinct values; sampling caps at k=5.
+  const auto& grades = vocab_->value_token_ids(score, 3);
+  EXPECT_EQ(grades.size(), 5u);
+  for (int id : grades) {
+    EXPECT_EQ(vocab_->token(id).kind, TokenKind::kValue);
+    EXPECT_EQ(vocab_->token(id).value_column_table, score);
+    EXPECT_EQ(vocab_->token(id).value_column_idx, 3);
+  }
+}
+
+TEST_F(VocabularyTest, SampledValuesAreSortedDistinct) {
+  int score = db_.catalog().FindTable("Score");
+  const auto& ids = vocab_->value_token_ids(score, 3);
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LT(vocab_->token(ids[i - 1]).value.Compare(
+                  vocab_->token(ids[i]).value),
+              0);
+  }
+}
+
+TEST_F(VocabularyTest, CategoricalEnumeratesAllValues) {
+  int student = db_.catalog().FindTable("Student");
+  // Gender has 2 distinct values; both should be present.
+  const auto& ids = vocab_->value_token_ids(student, 2);
+  EXPECT_EQ(ids.size(), 2u);
+  std::set<std::string> vals;
+  for (int id : ids) vals.insert(vocab_->token(id).value.as_string());
+  EXPECT_TRUE(vals.count("M"));
+  EXPECT_TRUE(vals.count("F"));
+}
+
+TEST_F(VocabularyTest, SampleRatioMode) {
+  VocabularyOptions opts;
+  opts.sample_ratio = 0.5;
+  auto v = Vocabulary::Build(db_, opts);
+  ASSERT_TRUE(v.ok());
+  int score = db_.catalog().FindTable("Score");
+  // Score.SID has 30 distinct values; ratio 0.5 samples 15.
+  EXPECT_EQ(v->value_token_ids(score, 0).size(), 15u);
+}
+
+TEST_F(VocabularyTest, DeterministicAcrossBuilds) {
+  VocabularyOptions opts;
+  opts.values_per_column = 5;
+  auto v2 = Vocabulary::Build(db_, opts);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_EQ(v2->size(), vocab_->size());
+  for (int i = 0; i < v2->size(); ++i) {
+    EXPECT_EQ(v2->token(i).text, vocab_->token(i).text);
+  }
+}
+
+TEST(VocabularyErrorTest, EmptyDatabaseRejected) {
+  Database db;
+  EXPECT_FALSE(Vocabulary::Build(db, VocabularyOptions()).ok());
+}
+
+// ---------------------------------------------------------------- ast
+
+TEST(AstTest, SelectQueryHelpers) {
+  SelectQuery q;
+  q.tables = {0, 1};
+  q.items.push_back({AggFunc::kNone, {0, 1}});
+  EXPECT_EQ(q.NumJoins(), 1);
+  EXPECT_FALSE(q.HasAggregate());
+  q.items.push_back({AggFunc::kMax, {0, 2}});
+  EXPECT_TRUE(q.HasAggregate());
+  EXPECT_EQ(q.TotalPredicates(), 0);
+  EXPECT_FALSE(q.HasNested());
+  EXPECT_EQ(q.NestingDepth(), 0);
+}
+
+TEST(AstTest, NestedPredicatesCounted) {
+  SelectQuery q;
+  q.tables = {0};
+  Predicate p;
+  p.kind = PredicateKind::kInSub;
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {1};
+  Predicate inner;
+  inner.kind = PredicateKind::kValue;
+  p.subquery->where.predicates.push_back(std::move(inner));
+  q.where.predicates.push_back(std::move(p));
+  EXPECT_TRUE(q.HasNested());
+  EXPECT_EQ(q.NestingDepth(), 1);
+  EXPECT_EQ(q.TotalPredicates(), 2);
+}
+
+TEST(AstTest, AggFuncNames) {
+  EXPECT_STREQ(AggFuncName(AggFunc::kAvg), "AVG");
+  EXPECT_STREQ(AggFuncName(AggFunc::kNone), "");
+}
+
+TEST(AstTest, QueryTypeNames) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kSelect), "SELECT");
+  EXPECT_STREQ(QueryTypeName(QueryType::kUpdate), "UPDATE");
+}
+
+// ---------------------------------------------------------------- render
+
+class RenderTest : public ::testing::Test {
+ protected:
+  RenderTest() : db_(BuildScoreStudentDb()) {}
+  const Catalog& cat() { return db_.catalog(); }
+  int score() { return cat().FindTable("Score"); }
+  int student() { return cat().FindTable("Student"); }
+  Database db_;
+};
+
+TEST_F(RenderTest, SimpleSelect) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score()};
+  ast.select->items.push_back({AggFunc::kNone, {score(), 1}});
+  EXPECT_EQ(RenderSql(ast, cat()), "SELECT Score.ID FROM Score");
+}
+
+TEST_F(RenderTest, JoinRendersOnClause) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score(), student()};
+  ast.select->items.push_back({AggFunc::kNone, {student(), 1}});
+  std::string sql = RenderSql(ast, cat());
+  EXPECT_NE(sql.find("JOIN Student ON Score.ID = Student.ID"),
+            std::string::npos)
+      << sql;
+}
+
+TEST_F(RenderTest, WhereWithConnectors) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score()};
+  ast.select->items.push_back({AggFunc::kNone, {score(), 1}});
+  Predicate p1;
+  p1.column = {score(), 3};
+  p1.op = CompareOp::kLt;
+  p1.value = Value(95.0);
+  Predicate p2;
+  p2.column = {score(), 2};
+  p2.op = CompareOp::kEq;
+  p2.value = Value("db");
+  ast.select->where.predicates.push_back(std::move(p1));
+  ast.select->where.predicates.push_back(std::move(p2));
+  ast.select->where.connectors.push_back(BoolConn::kOr);
+  std::string sql = RenderSql(ast, cat());
+  EXPECT_NE(sql.find("WHERE Score.Grade < 95 OR Score.Course = 'db'"),
+            std::string::npos)
+      << sql;
+}
+
+TEST_F(RenderTest, GroupByHaving) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score()};
+  ast.select->items.push_back({AggFunc::kNone, {score(), 2}});
+  ast.select->group_by.push_back({score(), 2});
+  ast.select->having = HavingClause{AggFunc::kCount, {score(), 3},
+                                    CompareOp::kGt, Value(int64_t{3})};
+  std::string sql = RenderSql(ast, cat());
+  EXPECT_NE(sql.find("GROUP BY Score.Course"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("HAVING COUNT(Score.Grade) > 3"), std::string::npos)
+      << sql;
+}
+
+TEST_F(RenderTest, NestedInSubquery) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score()};
+  ast.select->items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.kind = PredicateKind::kInSub;
+  p.column = {score(), 1};
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {student()};
+  p.subquery->items.push_back({AggFunc::kNone, {student(), 0}});
+  ast.select->where.predicates.push_back(std::move(p));
+  std::string sql = RenderSql(ast, cat());
+  EXPECT_NE(sql.find("Score.ID IN (SELECT Student.ID FROM Student)"),
+            std::string::npos)
+      << sql;
+}
+
+TEST_F(RenderTest, NotExists) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score()};
+  ast.select->items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.kind = PredicateKind::kExistsSub;
+  p.negated = true;
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {student()};
+  p.subquery->items.push_back({AggFunc::kNone, {student(), 0}});
+  ast.select->where.predicates.push_back(std::move(p));
+  EXPECT_NE(RenderSql(ast, cat()).find("NOT EXISTS (SELECT"),
+            std::string::npos);
+}
+
+TEST_F(RenderTest, InsertValues) {
+  QueryAst ast;
+  ast.type = QueryType::kInsert;
+  ast.insert = std::make_unique<InsertQuery>();
+  ast.insert->table_idx = student();
+  ast.insert->values = {Value(int64_t{99}), Value("Zoe"), Value("F")};
+  EXPECT_EQ(RenderSql(ast, cat()),
+            "INSERT INTO Student VALUES (99, 'Zoe', 'F')");
+}
+
+TEST_F(RenderTest, InsertSelect) {
+  QueryAst ast;
+  ast.type = QueryType::kInsert;
+  ast.insert = std::make_unique<InsertQuery>();
+  ast.insert->table_idx = student();
+  ast.insert->source = std::make_unique<SelectQuery>();
+  ast.insert->source->tables = {student()};
+  for (int c = 0; c < 3; ++c) {
+    ast.insert->source->items.push_back({AggFunc::kNone, {student(), c}});
+  }
+  std::string sql = RenderSql(ast, cat());
+  EXPECT_NE(sql.find("INSERT INTO Student SELECT"), std::string::npos) << sql;
+}
+
+TEST_F(RenderTest, UpdateWithWhere) {
+  QueryAst ast;
+  ast.type = QueryType::kUpdate;
+  ast.update = std::make_unique<UpdateQuery>();
+  ast.update->table_idx = score();
+  ast.update->set_column = {score(), 3};
+  ast.update->set_value = Value(100.0);
+  Predicate p;
+  p.column = {score(), 2};
+  p.op = CompareOp::kEq;
+  p.value = Value("ml");
+  ast.update->where.predicates.push_back(std::move(p));
+  EXPECT_EQ(RenderSql(ast, cat()),
+            "UPDATE Score SET Grade = 100 WHERE Score.Course = 'ml'");
+}
+
+TEST_F(RenderTest, DeleteBare) {
+  QueryAst ast;
+  ast.type = QueryType::kDelete;
+  ast.del = std::make_unique<DeleteQuery>();
+  ast.del->table_idx = score();
+  EXPECT_EQ(RenderSql(ast, cat()), "DELETE FROM Score");
+}
+
+TEST_F(RenderTest, ScalarSubquery) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  ast.select->tables = {score()};
+  ast.select->items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.kind = PredicateKind::kScalarSub;
+  p.column = {score(), 3};
+  p.op = CompareOp::kGt;
+  p.subquery = std::make_unique<SelectQuery>();
+  p.subquery->tables = {score()};
+  p.subquery->items.push_back({AggFunc::kAvg, {score(), 3}});
+  ast.select->where.predicates.push_back(std::move(p));
+  EXPECT_NE(RenderSql(ast, cat())
+                .find("Score.Grade > (SELECT AVG(Score.Grade) FROM Score)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsg
