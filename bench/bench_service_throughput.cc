@@ -1,0 +1,123 @@
+// Service throughput microbench: queries/sec and cache-hit rate for a
+// mixed constraint workload at 1, 2, 4, 8 workers. Each worker count runs
+// the same request sequence against a fresh service, so scaling numbers
+// are apples-to-apples. Results are emitted as one JSON row per setting:
+//
+//   {"bench": "service_throughput", "dataset": "TPC-H", "workers": 4, ...}
+//
+// Scale knobs (see bench_common.h): LSG_N is repurposed as the request
+// count, LSG_EPOCHS as per-model training epochs, LSG_QUICK shrinks both.
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/generation_service.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+// Mixed workload over a probed metric domain: point + range, card + cost,
+// cycled so repeats of a bucket arrive and exercise the cache.
+std::vector<Constraint> MixedWorkload(const DatasetContext& ctx,
+                                      int requests) {
+  std::vector<Constraint> unique;
+  for (const Constraint& c :
+       PaperPointGrid(ConstraintMetric::kCardinality, ctx.card_domain)) {
+    unique.push_back(c);
+  }
+  for (const Constraint& c :
+       PaperRangeGrid(ConstraintMetric::kCardinality, ctx.card_domain)) {
+    unique.push_back(c);
+  }
+  for (const Constraint& c :
+       PaperPointGrid(ConstraintMetric::kCost, ctx.cost_domain)) {
+    unique.push_back(c);
+  }
+  std::vector<Constraint> workload;
+  workload.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    workload.push_back(unique[i % unique.size()]);
+  }
+  return workload;
+}
+
+void RunAtConcurrency(const Database* db,
+                      const std::vector<Constraint>& workload,
+                      const std::string& dataset, int workers, int epochs,
+                      int n_per_request) {
+  GenerationServiceOptions opts;
+  opts.num_workers = workers;
+  opts.queue_capacity = workload.size();
+  opts.registry.capacity = 16;  // hold the full unique set: hits are real
+  opts.gen.train_epochs = epochs;
+  opts.gen.trainer.batch_size = 8;
+  opts.gen.seed = 20220612;
+
+  auto service = GenerationService::Create(db, opts);
+  LSG_CHECK(service.ok()) << service.status().ToString();
+
+  Stopwatch wall;
+  std::vector<std::future<GenerationResponse>> futures;
+  futures.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    GenerationRequest req;
+    req.constraint = workload[i];
+    req.n = n_per_request;
+    req.batch = true;
+    req.id = i + 1;
+    futures.push_back((*service)->Submit(std::move(req)));
+  }
+  uint64_t queries = 0;
+  for (auto& f : futures) {
+    GenerationResponse r = f.get();
+    if (r.status.ok()) queries += r.report.queries.size();
+  }
+  (*service)->Shutdown();
+  double seconds = wall.ElapsedSeconds();
+
+  ServiceMetricsSnapshot m = (*service)->Metrics();
+  std::printf(
+      "{\"bench\": \"service_throughput\", \"dataset\": \"%s\", "
+      "\"workers\": %d, \"requests\": %zu, \"seconds\": %.3f, "
+      "\"requests_per_sec\": %.3f, \"queries_per_sec\": %.3f, "
+      "\"cache_hit_rate\": %.4f, \"satisfied_rate\": %.4f, "
+      "\"trainings\": %llu, \"queue_depth_high_water\": %llu}\n",
+      dataset.c_str(), workers, workload.size(), seconds,
+      static_cast<double>(workload.size()) / seconds,
+      static_cast<double>(queries) / seconds, m.cache_hit_rate(),
+      m.satisfied_rate(), static_cast<unsigned long long>(m.trainings),
+      static_cast<unsigned long long>(m.queue_depth_high_water));
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+
+  BenchConfig cfg = BenchConfig::FromEnv();
+  // Service-bench scale: LSG_N requests (default shrunk: every miss is a
+  // full training run), LSG_EPOCHS/5 epochs per model.
+  const int requests = std::max(8, cfg.n / 4);
+  const int epochs = std::max(10, cfg.epochs / 5);
+  const int n_per_request = 5;
+
+  PrintHeader("Service throughput (mixed constraint workload)");
+  const std::string dataset = "TPC-H";
+  DatasetContext ctx = MakeContext(dataset, cfg, DefaultOptions(cfg));
+  std::vector<Constraint> workload = MixedWorkload(ctx, requests);
+  std::printf("%d requests over %d unique buckets, %d epochs/model\n",
+              requests, std::min(requests, 12), epochs);
+
+  for (int workers : {1, 2, 4, 8}) {
+    RunAtConcurrency(&ctx.db, workload, dataset, workers, epochs,
+                     n_per_request);
+  }
+  return 0;
+}

@@ -8,7 +8,10 @@ namespace lsg {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+// Guards the sink pointer and every line emission: a log line is written
+// and flushed atomically with respect to other threads and to sink swaps.
 std::mutex g_log_mutex;
+std::FILE* g_log_sink = nullptr;  // nullptr = stderr; guarded by g_log_mutex
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -30,6 +33,11 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+void SetLogSink(std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_sink = sink;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -45,8 +53,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   {
     std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    std::FILE* out = g_log_sink != nullptr ? g_log_sink : stderr;
+    std::fprintf(out, "%s\n", stream_.str().c_str());
+    std::fflush(out);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -1,6 +1,7 @@
 #ifndef LEARNEDSQLGEN_COMMON_LOGGING_H_
 #define LEARNEDSQLGEN_COMMON_LOGGING_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -12,8 +13,18 @@ namespace lsg {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Sets the process-wide minimum severity that will be printed.
+///
+/// Logging is thread-safe: the level is an atomic (lock-free check on every
+/// suppressed LSG_LOG), and the sink pointer plus each line emission are
+/// guarded by one mutex, so concurrent workers never interleave partial
+/// lines and never race a sink swap against an in-flight write.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Redirects log output to `sink` (e.g. a log file owned by the caller;
+/// nullptr restores the default, stderr). The caller keeps ownership and
+/// must keep the stream open until the sink is reset.
+void SetLogSink(std::FILE* sink);
 
 namespace internal {
 

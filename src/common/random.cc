@@ -9,8 +9,8 @@ namespace lsg {
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
-// SplitMix64, used to expand the seed into the xoshiro state.
-uint64_t SplitMix64(uint64_t* state) {
+// SplitMix64 step, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64Next(uint64_t* state) {
   uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
@@ -18,9 +18,11 @@ uint64_t SplitMix64(uint64_t* state) {
 }
 }  // namespace
 
+uint64_t SplitMix64(uint64_t x) { return SplitMix64Next(&x); }
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
-  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64Next(&sm);
   // Avoid the all-zero state, which xoshiro cannot escape.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }

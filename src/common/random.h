@@ -8,6 +8,12 @@
 
 namespace lsg {
 
+/// SplitMix64 finalizer: a stateless, high-quality 64→64 bit mixer. Use it
+/// to derive independent stream seeds from a base seed plus a stream index
+/// (e.g. per-worker seeds in the generation service), so that nearby base
+/// seeds still yield decorrelated streams.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic, fast PRNG (xoshiro256**). All stochastic components in the
 /// library (data generation, value sampling, policy sampling, dropout,
 /// weight init) draw from an explicitly seeded Rng so that every experiment

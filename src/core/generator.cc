@@ -1,5 +1,7 @@
 #include "core/generator.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "nn/serialize.h"
@@ -70,12 +72,13 @@ Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
   return Status::Ok();
 }
 
-Status LearnedSqlGen::SaveModel(const std::string& path) {
+Status LearnedSqlGen::SaveModel(const std::string& path) const {
   if (ac_trainer_ != nullptr) {
-    return SaveParams(ac_trainer_->actor().Params(), path);
+    return SaveParams(std::as_const(*ac_trainer_).actor().Params(), path);
   }
   if (reinforce_trainer_ != nullptr) {
-    return SaveParams(reinforce_trainer_->actor().Params(), path);
+    return SaveParams(std::as_const(*reinforce_trainer_).actor().Params(),
+                      path);
   }
   return Status::FailedPrecondition("no trained model to save");
 }

@@ -61,6 +61,13 @@ struct GenerationReport {
 /// The LearnedSQLGen system facade: builds the action space, statistics,
 /// estimator and cost model for a database; trains the RL model for a
 /// constraint (Algorithm 1/3); generates satisfying queries (Algorithm 2).
+///
+/// Thread-safety contract: one instance is single-threaded (Train and
+/// Generate* mutate the trainer state and its RNG), but distinct instances
+/// over the same const Database may run concurrently — the library keeps no
+/// mutable global state beyond the thread-safe logger. The service layer
+/// (src/service/) builds on exactly this contract: one pipeline per cached
+/// constraint bucket, each guarded by its own lock.
 class LearnedSqlGen {
  public:
   /// Builds the pipeline for `db` (must outlive the generator).
@@ -81,7 +88,7 @@ class LearnedSqlGen {
   StatusOr<GenerationReport> GenerateBatch(int n);
 
   /// Saves the trained actor's parameters to a binary file.
-  Status SaveModel(const std::string& path);
+  Status SaveModel(const std::string& path) const;
 
   /// Rebuilds the pipeline for `constraint` (without training) and loads a
   /// previously saved actor, so generation can resume across processes.

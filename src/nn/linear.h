@@ -23,6 +23,7 @@ class Linear {
   void Backward(const float* x, const float* dy, float* dx_or_null);
 
   std::vector<ParamTensor*> Params() { return {&w_, &b_}; }
+  std::vector<const ParamTensor*> Params() const { return {&w_, &b_}; }
 
  private:
   ParamTensor w_;

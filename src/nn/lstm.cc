@@ -220,4 +220,12 @@ std::vector<ParamTensor*> LstmStack::Params() {
   return out;
 }
 
+std::vector<const ParamTensor*> LstmStack::Params() const {
+  std::vector<const ParamTensor*> out;
+  for (const LstmCell& c : cells_) {
+    for (const ParamTensor* p : c.Params()) out.push_back(p);
+  }
+  return out;
+}
+
 }  // namespace lsg

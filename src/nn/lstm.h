@@ -42,6 +42,7 @@ class LstmCell {
                 float* dh_prev, float* dc_prev, float* dx_or_null);
 
   std::vector<ParamTensor*> Params() { return {&wx_, &wh_, &b_}; }
+  std::vector<const ParamTensor*> Params() const { return {&wx_, &wh_, &b_}; }
 
  private:
   void Gates(const float* pre, Cache* cache) const;
@@ -94,6 +95,7 @@ class LstmStack {
                 const std::vector<std::vector<float>>& dtop);
 
   std::vector<ParamTensor*> Params();
+  std::vector<const ParamTensor*> Params() const;
 
  private:
   const std::vector<float>& StepImpl(int onehot_idx, const float* x0,

@@ -21,6 +21,12 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 Status SaveParams(const std::vector<ParamTensor*>& params,
                   const std::string& path) {
+  return SaveParams(
+      std::vector<const ParamTensor*>(params.begin(), params.end()), path);
+}
+
+Status SaveParams(const std::vector<const ParamTensor*>& params,
+                  const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return Status::Internal("cannot open " + path);
   uint32_t magic = kMagic;

@@ -11,6 +11,8 @@ namespace lsg {
 
 /// Writes parameter values to a binary file (magic + per-tensor
 /// name/shape/data). Gradients are not saved.
+Status SaveParams(const std::vector<const ParamTensor*>& params,
+                  const std::string& path);
 Status SaveParams(const std::vector<ParamTensor*>& params,
                   const std::string& path);
 

@@ -26,6 +26,7 @@ class ActorCriticTrainer {
   bool RestoreBestActor();
 
   PolicyNetwork& actor() { return *actor_; }
+  const PolicyNetwork& actor() const { return *actor_; }
   ValueNetwork& critic() { return *critic_; }
   const TrainerOptions& options() const { return options_; }
 

@@ -131,4 +131,10 @@ std::vector<ParamTensor*> PolicyNetwork::Params() {
   return out;
 }
 
+std::vector<const ParamTensor*> PolicyNetwork::Params() const {
+  std::vector<const ParamTensor*> out = lstm_.Params();
+  for (const ParamTensor* p : head_.Params()) out.push_back(p);
+  return out;
+}
+
 }  // namespace lsg

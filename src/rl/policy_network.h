@@ -71,6 +71,7 @@ class PolicyNetwork {
   static double MeanEntropy(const Episode& ep);
 
   std::vector<ParamTensor*> Params();
+  std::vector<const ParamTensor*> Params() const;
 
  private:
   int vocab_size_;

@@ -66,6 +66,7 @@ class ReinforceTrainer {
   bool RestoreBestActor();
 
   PolicyNetwork& actor() { return *actor_; }
+  const PolicyNetwork& actor() const { return *actor_; }
   const TrainerOptions& options() const { return options_; }
 
  private:

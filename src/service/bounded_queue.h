@@ -1,0 +1,103 @@
+#ifndef LEARNEDSQLGEN_SERVICE_BOUNDED_QUEUE_H_
+#define LEARNEDSQLGEN_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lsg {
+
+/// Bounded multi-producer/multi-consumer queue, the backpressure point of
+/// the generation service. Producers either block until a slot frees up
+/// (Push) or fail fast (TryPush); consumers block until an item or close
+/// arrives (Pop). Close() has drain semantics: producers are rejected from
+/// then on, but items already accepted stay poppable, so a clean shutdown
+/// never drops accepted work.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (item dropped) if the
+  /// queue is closed before a slot frees up.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    Enqueue(std::move(item));
+    return true;
+  }
+
+  /// Fail-fast producer: returns false immediately when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    Enqueue(std::move(item));
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects all future producers and wakes every waiter. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Deepest the queue has ever been (backpressure diagnostics).
+  size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  void Enqueue(T item) {  // callers hold mu_
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SERVICE_BOUNDED_QUEUE_H_

@@ -1,0 +1,48 @@
+#include "service/constraint_key.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace lsg {
+
+namespace {
+// Quarter-octave bin of a (non-negative) metric target. Values below 1
+// collapse into bin 0 — sub-row cardinalities are all "empty-ish".
+int32_t Bin(double v) {
+  if (!(v > 1.0)) return 0;
+  return static_cast<int32_t>(std::llround(4.0 * std::log2(v)));
+}
+}  // namespace
+
+std::string ConstraintKey::ToString() const {
+  return StrFormat("%s-%s-a%d-b%d",
+                   metric == ConstraintMetric::kCardinality ? "card" : "cost",
+                   kind == ConstraintKind::kPoint ? "point" : "range",
+                   bin_a, bin_b);
+}
+
+ConstraintKey BucketOf(const Constraint& c) {
+  ConstraintKey key;
+  key.metric = c.metric;
+  key.kind = c.kind;
+  if (c.kind == ConstraintKind::kPoint) {
+    key.bin_a = Bin(c.point);
+  } else {
+    key.bin_a = Bin(c.lo);
+    key.bin_b = Bin(c.hi);
+  }
+  return key;
+}
+
+size_t ConstraintKeyHash::operator()(const ConstraintKey& k) const {
+  uint64_t h = static_cast<uint64_t>(k.metric) << 1 |
+               static_cast<uint64_t>(k.kind);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(k.bin_a))
+                      << 32 |
+                      static_cast<uint32_t>(k.bin_b)));
+  return static_cast<size_t>(h);
+}
+
+}  // namespace lsg

@@ -1,0 +1,43 @@
+#ifndef LEARNEDSQLGEN_SERVICE_CONSTRAINT_KEY_H_
+#define LEARNEDSQLGEN_SERVICE_CONSTRAINT_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rl/reward.h"
+
+namespace lsg {
+
+/// Cache key for the model registry: constraints close enough to share a
+/// trained policy map to the same key. The metric (card vs. cost) and kind
+/// (point vs. range) always split buckets; the numeric targets are
+/// quantized to quarter-octave bins (four bins per doubling), which is
+/// well inside the paper's ±10% point tolerance once values differ by a
+/// bucket, yet coarse enough that jittered repeats of one workload land on
+/// a warm model.
+struct ConstraintKey {
+  ConstraintMetric metric = ConstraintMetric::kCardinality;
+  ConstraintKind kind = ConstraintKind::kPoint;
+  int32_t bin_a = 0;  ///< point bin, or range-lo bin
+  int32_t bin_b = 0;  ///< range-hi bin (0 for points)
+
+  bool operator==(const ConstraintKey& other) const {
+    return metric == other.metric && kind == other.kind &&
+           bin_a == other.bin_a && bin_b == other.bin_b;
+  }
+
+  /// Stable, filesystem-safe spelling, e.g. "card-point-a24-b0" — used as
+  /// the spill filename so a model survives process restarts.
+  std::string ToString() const;
+};
+
+/// Maps a constraint to its bucket.
+ConstraintKey BucketOf(const Constraint& c);
+
+struct ConstraintKeyHash {
+  size_t operator()(const ConstraintKey& k) const;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SERVICE_CONSTRAINT_KEY_H_

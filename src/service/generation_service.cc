@@ -1,0 +1,149 @@
+#include "service/generation_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace lsg {
+
+GenerationService::GenerationService(const Database* db,
+                                     const GenerationServiceOptions& options)
+    : options_(options),
+      registry_(db, options.gen, options.registry, &metrics_),
+      queue_(options.queue_capacity) {}
+
+StatusOr<std::unique_ptr<GenerationService>> GenerationService::Create(
+    const Database* db, const GenerationServiceOptions& options) {
+  if (db == nullptr || db->num_tables() == 0) {
+    return Status::InvalidArgument("service needs a non-empty database");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  std::unique_ptr<GenerationService> service(
+      new GenerationService(db, options));
+  service->workers_.reserve(options.num_workers);
+  for (int w = 0; w < options.num_workers; ++w) {
+    service->workers_.emplace_back(
+        [svc = service.get(), w] { svc->WorkerLoop(w); });
+  }
+  return service;
+}
+
+GenerationService::~GenerationService() { Shutdown(); }
+
+std::future<GenerationResponse> GenerationService::RejectedFuture(
+    uint64_t id, Status status) {
+  std::promise<GenerationResponse> promise;
+  GenerationResponse response;
+  response.id = id;
+  response.status = std::move(status);
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+std::future<GenerationResponse> GenerationService::Submit(
+    GenerationRequest request) {
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.request = std::move(request);
+  uint64_t id = job.request.id;
+  std::future<GenerationResponse> future = job.promise.get_future();
+  if (!queue_.Push(std::move(job))) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    return RejectedFuture(
+        id, Status::FailedPrecondition("service is shut down"));
+  }
+  return future;
+}
+
+StatusOr<std::future<GenerationResponse>> GenerationService::TrySubmit(
+    GenerationRequest request) {
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.request = std::move(request);
+  std::future<GenerationResponse> future = job.promise.get_future();
+  if (!queue_.TryPush(std::move(job))) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition(
+        queue_.closed() ? "service is shut down" : "request queue is full");
+  }
+  return future;
+}
+
+GenerationResponse GenerationService::SubmitAndWait(
+    GenerationRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void GenerationService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  queue_.Close();  // producers rejected; accepted jobs drain
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ServiceMetricsSnapshot GenerationService::Metrics() const {
+  ServiceMetricsSnapshot snapshot = metrics_.Snapshot();
+  snapshot.queue_depth_high_water = queue_.high_water_mark();
+  return snapshot;
+}
+
+void GenerationService::WorkerLoop(int worker_index) {
+  // Deterministic per-worker stream: base seed + stable worker index mixed
+  // through SplitMix64, so concurrency-1 runs with a fixed request order
+  // replay exactly, and nearby seeds stay decorrelated across workers.
+  Rng rng(SplitMix64(options_.gen.seed + static_cast<uint64_t>(worker_index)));
+  while (auto job = queue_.Pop()) {
+    GenerationResponse response;
+    response.id = job->request.id;
+    response.worker = worker_index;
+    response.queue_seconds = job->queued.ElapsedSeconds();
+    metrics_.AddQueueSeconds(response.queue_seconds);
+    response.status = Handle(job->request, &rng, &response);
+    if (response.status.ok()) {
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->promise.set_value(std::move(response));
+  }
+}
+
+Status GenerationService::Handle(const GenerationRequest& request, Rng* rng,
+                                 GenerationResponse* response) {
+  if (request.n <= 0) {
+    return Status::InvalidArgument("request.n must be positive");
+  }
+  // Drawing the seed unconditionally keeps each worker's stream in lockstep
+  // with its request sequence, hit or miss.
+  const uint64_t train_seed = rng->Next();
+  auto acquired = registry_.Acquire(request.constraint, train_seed);
+  if (!acquired.ok()) return acquired.status();
+  response->cache_hit = acquired->cache_hit;
+  response->warm_start = acquired->warm_start;
+
+  std::lock_guard<std::mutex> model_lock(acquired->entry->mu);
+  LearnedSqlGen* gen = acquired->entry->gen.get();
+  if (gen == nullptr) {
+    return Status::Internal("registry returned an empty model");
+  }
+  response->train_seconds = gen->last_train_seconds();
+  auto report = request.batch ? gen->GenerateBatch(request.n)
+                              : gen->GenerateSatisfied(request.n);
+  if (!report.ok()) return report.status();
+  response->generate_seconds = report->generate_seconds;
+  metrics_.AddGenerateSeconds(report->generate_seconds);
+  metrics_.attempts.fetch_add(static_cast<uint64_t>(report->attempts),
+                              std::memory_order_relaxed);
+  metrics_.queries_generated.fetch_add(report->queries.size(),
+                                       std::memory_order_relaxed);
+  metrics_.queries_satisfied.fetch_add(
+      static_cast<uint64_t>(report->satisfied), std::memory_order_relaxed);
+  response->report = std::move(*report);
+  return Status::Ok();
+}
+
+}  // namespace lsg

@@ -1,0 +1,117 @@
+#ifndef LEARNEDSQLGEN_SERVICE_GENERATION_SERVICE_H_
+#define LEARNEDSQLGEN_SERVICE_GENERATION_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/generator.h"
+#include "service/bounded_queue.h"
+#include "service/model_registry.h"
+#include "service/service_metrics.h"
+
+namespace lsg {
+
+/// One unit of work for the service: "give me n queries satisfying this
+/// constraint".
+struct GenerationRequest {
+  Constraint constraint;
+  int n = 10;         ///< satisfying queries to produce
+  bool batch = false; ///< run exactly n attempts (GenerateBatch) instead of
+                      ///< generating until n satisfy (GenerateSatisfied)
+  uint64_t id = 0;    ///< caller-chosen tag, echoed in the response
+};
+
+/// Outcome of one request. Move-only (the report owns query ASTs).
+struct GenerationResponse {
+  uint64_t id = 0;
+  Status status;
+  GenerationReport report;   ///< valid when status.ok()
+  bool cache_hit = false;    ///< served from an already-built model
+  bool warm_start = false;   ///< model restored from disk, not retrained
+  int worker = -1;           ///< which worker ran it
+  double queue_seconds = 0.0;
+  double train_seconds = 0.0;     ///< training time of the serving model
+  double generate_seconds = 0.0;
+};
+
+struct GenerationServiceOptions {
+  int num_workers = 4;
+  size_t queue_capacity = 64;
+  ModelRegistry::Options registry;
+  /// Base pipeline configuration. `gen.seed` is the service's base seed:
+  /// worker w draws its RNG stream from SplitMix64(gen.seed + w), so runs
+  /// with fixed seeds and fixed request order are reproducible at
+  /// concurrency 1.
+  LearnedSqlGenOptions gen;
+};
+
+/// Multi-tenant front end over LearnedSqlGen: a fixed worker pool drains a
+/// bounded MPMC request queue; each worker resolves its request's
+/// constraint bucket through the shared ModelRegistry (training at most
+/// once per bucket) and generates under that model's lock. Submit blocks
+/// when the queue is full (backpressure); TrySubmit fails fast instead.
+/// Shutdown() drains every accepted request before joining the workers.
+class GenerationService {
+ public:
+  /// `db` must outlive the service. Workers start immediately.
+  static StatusOr<std::unique_ptr<GenerationService>> Create(
+      const Database* db, const GenerationServiceOptions& options);
+
+  ~GenerationService();
+
+  GenerationService(const GenerationService&) = delete;
+  GenerationService& operator=(const GenerationService&) = delete;
+
+  /// Enqueues a request, blocking while the queue is full. The future
+  /// always becomes ready: with a generation result, a per-request error
+  /// status, or FailedPrecondition if the service shut down first.
+  std::future<GenerationResponse> Submit(GenerationRequest request);
+
+  /// Fail-fast variant: returns FailedPrecondition immediately when the
+  /// queue is full or the service is shut down.
+  StatusOr<std::future<GenerationResponse>> TrySubmit(
+      GenerationRequest request);
+
+  /// Submit + wait (convenience for sequential callers and tests).
+  GenerationResponse SubmitAndWait(GenerationRequest request);
+
+  /// Stops accepting new requests, drains every queued request, joins all
+  /// workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Live counters; callable while workers run.
+  ServiceMetricsSnapshot Metrics() const;
+
+  const GenerationServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    GenerationRequest request;
+    std::promise<GenerationResponse> promise;
+    Stopwatch queued;  ///< started at submit; read at pop = queue latency
+  };
+
+  GenerationService(const Database* db,
+                    const GenerationServiceOptions& options);
+
+  void WorkerLoop(int worker_index);
+  Status Handle(const GenerationRequest& request, Rng* rng,
+                GenerationResponse* response);
+  static std::future<GenerationResponse> RejectedFuture(uint64_t id,
+                                                        Status status);
+
+  GenerationServiceOptions options_;
+  ServiceMetrics metrics_;
+  ModelRegistry registry_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SERVICE_GENERATION_SERVICE_H_

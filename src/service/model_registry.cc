@@ -1,0 +1,167 @@
+#include "service/model_registry.h"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lsg {
+
+ModelRegistry::ModelRegistry(const Database* db,
+                             const LearnedSqlGenOptions& base,
+                             const Options& options, ServiceMetrics* metrics)
+    : db_(db), base_(base), options_(options), metrics_(metrics) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (!options_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+    if (ec) {
+      LSG_LOG(Warning) << "cannot create spill dir " << options_.spill_dir
+                       << " (" << ec.message() << "); spill disabled";
+      options_.spill_dir.clear();
+    }
+  }
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return models_.size();
+}
+
+std::string ModelRegistry::SpillPathFor(const Constraint& c) const {
+  if (options_.spill_dir.empty()) return "";
+  return options_.spill_dir + "/" + BucketOf(c).ToString() + ".model";
+}
+
+StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
+    const Constraint& c, uint64_t train_seed) {
+  const ConstraintKey key = BucketOf(c);
+  std::shared_ptr<ModelEntry> entry;
+  bool creator = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    Slot& slot = models_[key];
+    if (slot.entry == nullptr) {
+      slot.entry = std::make_shared<ModelEntry>();
+      slot.entry->constraint = c;
+      creator = true;
+      metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.last_used = ++lru_clock_;
+    entry = slot.entry;
+    if (creator) EvictIfNeeded();
+  }
+
+  if (!creator) {
+    std::unique_lock<std::mutex> el(entry->mu);
+    if (!entry->ready) {
+      metrics_->dedup_waits.fetch_add(1, std::memory_order_relaxed);
+      entry->ready_cv.wait(el, [&] { return entry->ready; });
+    }
+    if (!entry->status.ok()) return entry->status;
+    metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    Acquired out;
+    out.entry = std::move(entry);
+    out.cache_hit = true;
+    return out;
+  }
+
+  bool warm_start = false;
+  BuildEntry(key, entry.get(), train_seed, &warm_start);
+
+  Status status;
+  {
+    std::lock_guard<std::mutex> el(entry->mu);
+    status = entry->status;
+  }
+  entry->ready_cv.notify_all();
+  if (!status.ok()) {
+    // Drop the failed bucket so a later request retries instead of being
+    // pinned to the stale error.
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = models_.find(key);
+    if (it != models_.end() && it->second.entry == entry) models_.erase(it);
+    return status;
+  }
+  Acquired out;
+  out.entry = std::move(entry);
+  out.warm_start = warm_start;
+  return out;
+}
+
+void ModelRegistry::BuildEntry(const ConstraintKey& key, ModelEntry* entry,
+                               uint64_t train_seed, bool* warm_start) {
+  std::lock_guard<std::mutex> el(entry->mu);
+  LearnedSqlGenOptions opts = base_;
+  opts.trainer.seed = train_seed;
+  auto built = LearnedSqlGen::Create(db_, opts);
+  Status status = built.status();
+  if (status.ok()) {
+    entry->gen = std::move(built).value();
+    // A spill file from a past eviction (or process) beats retraining.
+    std::string spill;
+    if (!options_.spill_dir.empty()) {
+      spill = options_.spill_dir + "/" + key.ToString() + ".model";
+      if (!std::filesystem::exists(spill)) spill.clear();
+    }
+    if (!spill.empty()) {
+      status = entry->gen->LoadModel(entry->constraint, spill);
+      if (status.ok()) {
+        *warm_start = true;
+        metrics_->disk_warm_starts.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        LSG_LOG(Warning) << "warm-start from " << spill << " failed ("
+                         << status.ToString() << "); retraining";
+      }
+    }
+    if (!*warm_start) {
+      status = entry->gen->Train(entry->constraint);
+      if (status.ok()) {
+        metrics_->trainings.fetch_add(1, std::memory_order_relaxed);
+        metrics_->AddTrainSeconds(entry->gen->last_train_seconds());
+      }
+    }
+  }
+  if (!status.ok()) entry->gen.reset();
+  entry->status = status;
+  entry->ready = true;
+}
+
+void ModelRegistry::EvictIfNeeded() {
+  while (models_.size() > options_.capacity) {
+    // LRU victim among entries that are ready and idle; busy or
+    // in-training entries are skipped (the map may transiently exceed
+    // capacity while every resident model is in use).
+    auto victim = models_.end();
+    for (auto it = models_.begin(); it != models_.end(); ++it) {
+      if (victim != models_.end() &&
+          it->second.last_used >= victim->second.last_used) {
+        continue;
+      }
+      std::unique_lock<std::mutex> el(it->second.entry->mu, std::try_to_lock);
+      if (el.owns_lock() && it->second.entry->ready &&
+          it->second.entry->status.ok()) {
+        victim = it;
+      }
+    }
+    if (victim == models_.end()) return;
+    std::shared_ptr<ModelEntry> entry = victim->second.entry;
+    const ConstraintKey key = victim->first;
+    {
+      std::lock_guard<std::mutex> el(entry->mu);
+      if (!options_.spill_dir.empty() && entry->gen != nullptr) {
+        std::string path =
+            options_.spill_dir + "/" + key.ToString() + ".model";
+        if (Status s = entry->gen->SaveModel(path); !s.ok()) {
+          LSG_LOG(Warning) << "spill of " << key.ToString() << " failed: "
+                           << s.ToString();
+        }
+      }
+    }
+    models_.erase(victim);
+    metrics_->evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lsg

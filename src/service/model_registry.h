@@ -1,0 +1,106 @@
+#ifndef LEARNEDSQLGEN_SERVICE_MODEL_REGISTRY_H_
+#define LEARNEDSQLGEN_SERVICE_MODEL_REGISTRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/generator.h"
+#include "service/constraint_key.h"
+#include "service/service_metrics.h"
+
+namespace lsg {
+
+/// A cached, trained pipeline for one constraint bucket. `mu` serializes
+/// all use of `gen` (LearnedSqlGen instances are single-threaded); `ready`
+/// and `status` are also guarded by `mu` so concurrent requesters of the
+/// same bucket can wait on `ready_cv` while the first one trains.
+struct ModelEntry {
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  bool ready = false;           ///< guarded by mu
+  Status status;                ///< train/load outcome; guarded by mu
+  std::unique_ptr<LearnedSqlGen> gen;  ///< guarded by mu
+  Constraint constraint;        ///< the first requester's exact constraint
+};
+
+/// Constraint-keyed cache of trained pipelines with an LRU capacity bound.
+///
+/// - A second request for the same bucket reuses the cached model (hit).
+/// - Concurrent first requests for one bucket are deduplicated: the first
+///   caller trains, the rest block on the entry until it is ready.
+/// - When the map exceeds `capacity`, the least-recently-used idle model is
+///   spilled to `spill_dir` (via LearnedSqlGen::SaveModel) and dropped; a
+///   later request for that bucket warm-starts from the spill file instead
+///   of retraining.
+///
+/// Thread-safe. Lock order is registry mutex -> entry mutex; callers that
+/// hold an entry's mutex (i.e. are generating) must not call back into the
+/// registry.
+class ModelRegistry {
+ public:
+  struct Options {
+    size_t capacity = 8;
+    /// Directory for evicted models ("" disables spill: evictions discard).
+    /// Created on demand.
+    std::string spill_dir;
+  };
+
+  /// `db` must outlive the registry. `base` configures every pipeline the
+  /// registry builds; the trainer seed is overridden per Acquire call.
+  ModelRegistry(const Database* db, const LearnedSqlGenOptions& base,
+                const Options& options, ServiceMetrics* metrics);
+
+  /// What Acquire hands back: a shared entry (kept alive even if evicted
+  /// while in use) plus how it was obtained.
+  struct Acquired {
+    std::shared_ptr<ModelEntry> entry;
+    bool cache_hit = false;
+    bool warm_start = false;
+  };
+
+  /// Returns a ready model for the constraint's bucket, training or
+  /// warm-starting it if needed. `train_seed` seeds the trainer when this
+  /// call ends up training (ignored on hits), keeping service runs
+  /// reproducible at concurrency 1. Blocks while another caller trains the
+  /// same bucket. On training failure the bucket is removed again so a
+  /// later request can retry.
+  StatusOr<Acquired> Acquire(const Constraint& c, uint64_t train_seed);
+
+  /// Models currently resident (test/diagnostic hook).
+  size_t size() const;
+
+  /// Spill filename a bucket would use ("" when spill is disabled).
+  std::string SpillPathFor(const Constraint& c) const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<ModelEntry> entry;
+    uint64_t last_used = 0;
+  };
+
+  /// Builds + trains (or disk-loads) the pipeline for `entry`. Called by
+  /// the entry's creator without registry_mu_ held.
+  void BuildEntry(const ConstraintKey& key, ModelEntry* entry,
+                  uint64_t train_seed, bool* warm_start);
+
+  /// Evicts LRU idle entries until size() <= capacity. Caller holds
+  /// registry_mu_.
+  void EvictIfNeeded();
+
+  const Database* db_;
+  LearnedSqlGenOptions base_;
+  Options options_;
+  ServiceMetrics* metrics_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<ConstraintKey, Slot, ConstraintKeyHash> models_;
+  uint64_t lru_clock_ = 0;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SERVICE_MODEL_REGISTRY_H_

@@ -1,0 +1,65 @@
+#include "service/service_metrics.h"
+
+#include "common/string_util.h"
+
+namespace lsg {
+
+ServiceMetricsSnapshot ServiceMetrics::Snapshot() const {
+  ServiceMetricsSnapshot s;
+  s.requests_submitted = requests_submitted.load(std::memory_order_relaxed);
+  s.requests_rejected = requests_rejected.load(std::memory_order_relaxed);
+  s.requests_completed = requests_completed.load(std::memory_order_relaxed);
+  s.requests_failed = requests_failed.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+  s.trainings = trainings.load(std::memory_order_relaxed);
+  s.disk_warm_starts = disk_warm_starts.load(std::memory_order_relaxed);
+  s.evictions = evictions.load(std::memory_order_relaxed);
+  s.dedup_waits = dedup_waits.load(std::memory_order_relaxed);
+  s.queue_depth_high_water =
+      queue_depth_high_water.load(std::memory_order_relaxed);
+  s.attempts = attempts.load(std::memory_order_relaxed);
+  s.queries_generated = queries_generated.load(std::memory_order_relaxed);
+  s.queries_satisfied = queries_satisfied.load(std::memory_order_relaxed);
+  s.train_seconds =
+      static_cast<double>(train_micros_.load(std::memory_order_relaxed)) /
+      1e6;
+  s.generate_seconds =
+      static_cast<double>(generate_micros_.load(std::memory_order_relaxed)) /
+      1e6;
+  s.queue_seconds =
+      static_cast<double>(queue_micros_.load(std::memory_order_relaxed)) /
+      1e6;
+  return s;
+}
+
+std::string ServiceMetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  auto add_u64 = [&out](const char* key, uint64_t v) {
+    out += StrFormat("\"%s\": %llu, ", key,
+                     static_cast<unsigned long long>(v));
+  };
+  add_u64("requests_submitted", requests_submitted);
+  add_u64("requests_rejected", requests_rejected);
+  add_u64("requests_completed", requests_completed);
+  add_u64("requests_failed", requests_failed);
+  add_u64("cache_hits", cache_hits);
+  add_u64("cache_misses", cache_misses);
+  add_u64("trainings", trainings);
+  add_u64("disk_warm_starts", disk_warm_starts);
+  add_u64("evictions", evictions);
+  add_u64("dedup_waits", dedup_waits);
+  add_u64("queue_depth_high_water", queue_depth_high_water);
+  add_u64("attempts", attempts);
+  add_u64("queries_generated", queries_generated);
+  add_u64("queries_satisfied", queries_satisfied);
+  out += StrFormat(
+      "\"cache_hit_rate\": %.4f, \"satisfied_rate\": %.4f, "
+      "\"train_seconds\": %.3f, \"generate_seconds\": %.3f, "
+      "\"queue_seconds\": %.3f}",
+      cache_hit_rate(), satisfied_rate(), train_seconds, generate_seconds,
+      queue_seconds);
+  return out;
+}
+
+}  // namespace lsg

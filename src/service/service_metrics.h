@@ -1,0 +1,91 @@
+#ifndef LEARNEDSQLGEN_SERVICE_SERVICE_METRICS_H_
+#define LEARNEDSQLGEN_SERVICE_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lsg {
+
+/// Point-in-time view of the service counters, safe to take while workers
+/// run. Seconds are accumulated as integer microseconds internally, so the
+/// snapshot is tear-free without any global lock.
+struct ServiceMetricsSnapshot {
+  uint64_t requests_submitted = 0;
+  uint64_t requests_rejected = 0;  ///< backpressure fail-fast + post-shutdown
+  uint64_t requests_completed = 0;
+  uint64_t requests_failed = 0;
+
+  uint64_t cache_hits = 0;        ///< registry served an already-built model
+  uint64_t cache_misses = 0;      ///< bucket had to be built (train or disk)
+  uint64_t trainings = 0;         ///< models trained from scratch
+  uint64_t disk_warm_starts = 0;  ///< models restored from a spill file
+  uint64_t evictions = 0;         ///< models pushed out by the LRU bound
+  uint64_t dedup_waits = 0;       ///< requests that waited on another's train
+
+  uint64_t queue_depth_high_water = 0;
+
+  uint64_t attempts = 0;           ///< generation episodes run
+  uint64_t queries_generated = 0;  ///< queries returned to callers
+  uint64_t queries_satisfied = 0;  ///< ... of which met their constraint
+
+  double train_seconds = 0.0;
+  double generate_seconds = 0.0;
+  double queue_seconds = 0.0;  ///< summed request time spent queued
+
+  double cache_hit_rate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+  double satisfied_rate() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(queries_satisfied) /
+                               static_cast<double>(attempts);
+  }
+
+  /// One JSON object (keys above, snake_case) for dashboards and benches.
+  std::string ToJson() const;
+};
+
+/// Lock-free counter set shared by the queue, registry and workers. All
+/// members are monotonically increasing; Snapshot() reads them with relaxed
+/// ordering (counters are independent, exactness across counters is not
+/// required while the service runs).
+class ServiceMetrics {
+ public:
+  void AddTrainSeconds(double s) { train_micros_ += Micros(s); }
+  void AddGenerateSeconds(double s) { generate_micros_ += Micros(s); }
+  void AddQueueSeconds(double s) { queue_micros_ += Micros(s); }
+
+  ServiceMetricsSnapshot Snapshot() const;
+
+  std::atomic<uint64_t> requests_submitted{0};
+  std::atomic<uint64_t> requests_rejected{0};
+  std::atomic<uint64_t> requests_completed{0};
+  std::atomic<uint64_t> requests_failed{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> trainings{0};
+  std::atomic<uint64_t> disk_warm_starts{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> dedup_waits{0};
+  std::atomic<uint64_t> queue_depth_high_water{0};
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> queries_generated{0};
+  std::atomic<uint64_t> queries_satisfied{0};
+
+ private:
+  static uint64_t Micros(double seconds) {
+    return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e6);
+  }
+
+  std::atomic<uint64_t> train_micros_{0};
+  std::atomic<uint64_t> generate_micros_{0};
+  std::atomic<uint64_t> queue_micros_{0};
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_SERVICE_SERVICE_METRICS_H_

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -297,6 +302,48 @@ TEST(LoggingTest, LevelFiltering) {
 
 TEST(LoggingTest, CheckPassesOnTrue) {
   LSG_CHECK(1 + 1 == 2) << "unreachable";
+}
+
+TEST(LoggingTest, SplitMix64IsStableAndMixes) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));  // adjacent seeds decorrelate
+  EXPECT_NE(SplitMix64(0), 0u);
+}
+
+TEST(LoggingTest, ConcurrentLoggersNeverTearLines) {
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  SetLogSink(capture);
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        LSG_LOG(Info) << "BEGIN worker=" << t << " line=" << i << " END";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SetLogLevel(prev);
+  SetLogSink(nullptr);
+
+  std::rewind(capture);
+  char buf[512];
+  int lines = 0;
+  while (std::fgets(buf, sizeof(buf), capture) != nullptr) {
+    std::string line(buf);
+    // Every emitted line must be whole: one BEGIN, one END, END at the end.
+    EXPECT_NE(line.find("BEGIN"), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("END\n"), line.size() - 4) << line;
+    EXPECT_EQ(line.find("BEGIN"), line.rfind("BEGIN")) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, kThreads * kLines);
+  std::fclose(capture);
 }
 
 }  // namespace
