@@ -10,12 +10,12 @@
 
 #include "baselines/random_generator.h"
 #include "baselines/template_generator.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/generator.h"
 #include "datasets/benchmark_templates.h"
-#include "datasets/job_like.h"
-#include "datasets/tpch_like.h"
-#include "datasets/xuetang_like.h"
+#include "fuzz/test_databases.h"
 
 namespace lsg {
 namespace bench {
@@ -52,11 +52,9 @@ inline std::vector<std::string> DatasetNames() {
 }
 
 inline Database BuildDataset(const std::string& name, double scale) {
-  DatasetScale s;
-  s.factor = scale;
-  if (name == "TPC-H") return BuildTpchLike(s);
-  if (name == "JOB") return BuildJobLike(s);
-  return BuildXuetangLike(s);
+  auto db = BuildNamedDatabase(name, scale);
+  LSG_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
 }
 
 /// One ready-to-use experiment context: database + pipeline facade.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace lsg {
 
@@ -77,7 +78,10 @@ std::string FormatDouble(double v) {
   if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
     return StrFormat("%lld", static_cast<long long>(v));
   }
-  std::string s = StrFormat("%.6g", v);
+  // Shortest representation that parses back to the identical double, so
+  // rendered SQL literals survive a render → parse round trip exactly.
+  std::string s = StrFormat("%.15g", v);
+  if (std::strtod(s.c_str(), nullptr) != v) s = StrFormat("%.17g", v);
   return s;
 }
 

@@ -24,4 +24,62 @@ Status DmlExecutor::ApplyInsert(Database* db, const QueryAst& ast) const {
   return t->AppendRow(ins.values);
 }
 
+StatusOr<uint64_t> DmlExecutor::ApplyUpdate(Database* db,
+                                            const QueryAst& ast) const {
+  if (ast.type != QueryType::kUpdate || ast.update == nullptr) {
+    return Status::InvalidArgument("ApplyUpdate expects an UPDATE ast");
+  }
+  const UpdateQuery& up = *ast.update;
+  LSG_ASSIGN_OR_RETURN(std::vector<bool> match,
+                       exec_.MatchRows(up.table_idx, up.where));
+  Table* t = db->FindMutableTable(db->catalog().table(up.table_idx).name());
+  if (t == nullptr) return Status::NotFound("update target table missing");
+  uint64_t affected = 0;
+  for (size_t r = 0; r < match.size(); ++r) {
+    if (!match[r]) continue;
+    LSG_RETURN_IF_ERROR(t->SetValue(r, up.set_column.column_idx, up.set_value));
+    ++affected;
+  }
+  return affected;
+}
+
+StatusOr<uint64_t> DmlExecutor::ApplyDelete(Database* db,
+                                            const QueryAst& ast) const {
+  if (ast.type != QueryType::kDelete || ast.del == nullptr) {
+    return Status::InvalidArgument("ApplyDelete expects a DELETE ast");
+  }
+  const DeleteQuery& del = *ast.del;
+  LSG_ASSIGN_OR_RETURN(std::vector<bool> match,
+                       exec_.MatchRows(del.table_idx, del.where));
+  Table* t = db->FindMutableTable(db->catalog().table(del.table_idx).name());
+  if (t == nullptr) return Status::NotFound("delete target table missing");
+  uint64_t affected = 0;
+  std::vector<bool> keep(match.size());
+  for (size_t r = 0; r < match.size(); ++r) {
+    keep[r] = !match[r];
+    if (match[r]) ++affected;
+  }
+  t->FilterRows(keep);
+  return affected;
+}
+
+StatusOr<uint64_t> DmlExecutor::Apply(Database* db,
+                                      const QueryAst& ast) const {
+  switch (ast.type) {
+    case QueryType::kInsert:
+      if (ast.insert != nullptr && ast.insert->source != nullptr) {
+        return Status::Unimplemented("Apply supports only INSERT VALUES");
+      }
+      LSG_RETURN_IF_ERROR(ApplyInsert(db, ast));
+      return static_cast<uint64_t>(1);
+    case QueryType::kUpdate:
+      return ApplyUpdate(db, ast);
+    case QueryType::kDelete:
+      return ApplyDelete(db, ast);
+    case QueryType::kSelect:
+      break;
+  }
+  return Status::InvalidArgument("Apply expects a DML query");
+}
+
 }  // namespace lsg

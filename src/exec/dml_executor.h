@@ -21,6 +21,20 @@ class DmlExecutor {
   /// dry-run counts against actual mutation on a scratch copy.
   Status ApplyInsert(Database* db, const QueryAst& ast) const;
 
+  /// Applies an UPDATE for real: every row matching the WHERE gets
+  /// set_column overwritten with set_value. Returns the number of rows
+  /// changed. `db` must be the database this executor reads from.
+  StatusOr<uint64_t> ApplyUpdate(Database* db, const QueryAst& ast) const;
+
+  /// Applies a DELETE for real, removing every matching row. Returns the
+  /// number of rows removed.
+  StatusOr<uint64_t> ApplyDelete(Database* db, const QueryAst& ast) const;
+
+  /// Applies any DML statement for real (INSERT VALUES / UPDATE / DELETE),
+  /// returning the number of affected rows. INSERT..SELECT is rejected as
+  /// Unimplemented (applying it would require full-row projection).
+  StatusOr<uint64_t> Apply(Database* db, const QueryAst& ast) const;
+
  private:
   Executor exec_;
 };

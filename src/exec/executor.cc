@@ -325,6 +325,35 @@ StatusOr<SelectResult> Executor::ExecuteSelect(
   return result;
 }
 
+StatusOr<std::vector<bool>> Executor::MatchRows(
+    int table_idx, const WhereClause& where) const {
+  if (table_idx < 0 || static_cast<size_t>(table_idx) >= db_->num_tables()) {
+    return Status::InvalidArgument("MatchRows: table index out of range");
+  }
+  const size_t n = db_->tables()[table_idx].num_rows();
+  std::vector<bool> match(n, true);
+  if (where.empty()) return match;
+
+  TupleSet ts;
+  ts.tables = {table_idx};
+  ts.count = n;
+  ts.flat.reserve(n);
+  for (size_t r = 0; r < n; ++r) ts.flat.push_back(static_cast<uint32_t>(r));
+
+  ExecStats stats;
+  std::vector<std::vector<bool>> results(where.predicates.size());
+  for (size_t i = 0; i < where.predicates.size(); ++i) {
+    LSG_RETURN_IF_ERROR(
+        EvalPredicate(where.predicates[i], ts, &results[i], &stats));
+  }
+  std::vector<bool> per_pred(where.predicates.size());
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t i = 0; i < results.size(); ++i) per_pred[i] = results[i][t];
+    match[t] = CombinePredicates(per_pred, where.connectors);
+  }
+  return match;
+}
+
 StatusOr<uint64_t> Executor::Cardinality(const QueryAst& ast) const {
   switch (ast.type) {
     case QueryType::kSelect: {

@@ -52,6 +52,12 @@ class Executor {
   StatusOr<SelectResult> ExecuteSelect(const SelectQuery& q,
                                        bool materialize_first_column) const;
 
+  /// Evaluates a single-table WHERE against every row of `table_idx`,
+  /// returning one bool per row (true = row matches). Used to apply
+  /// UPDATE/DELETE for real and by the fuzzing oracle.
+  StatusOr<std::vector<bool>> MatchRows(int table_idx,
+                                        const WhereClause& where) const;
+
   const Database* db() const { return db_; }
 
  private:

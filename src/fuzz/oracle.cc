@@ -1,0 +1,265 @@
+#include "fuzz/oracle.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "sql/render.h"
+
+namespace lsg {
+
+namespace {
+
+bool AstHasWhere(const QueryAst& ast) {
+  switch (ast.type) {
+    case QueryType::kSelect:
+      return ast.select != nullptr && !ast.select->where.empty();
+    case QueryType::kInsert:
+      return ast.insert != nullptr && ast.insert->source != nullptr &&
+             !ast.insert->source->where.empty();
+    case QueryType::kUpdate:
+      return ast.update != nullptr && !ast.update->where.empty();
+    case QueryType::kDelete:
+      return ast.del != nullptr && !ast.del->where.empty();
+  }
+  return false;
+}
+
+/// Cross product of the top-level joined tables — a hard ceiling no sane
+/// cardinality estimate can exceed (WHERE/GROUP BY only shrink it).
+double CrossProductRows(const QueryAst& ast, const Database& db) {
+  const SelectQuery* q = nullptr;
+  switch (ast.type) {
+    case QueryType::kSelect:
+      q = ast.select.get();
+      break;
+    case QueryType::kInsert:
+      if (ast.insert->source == nullptr) return 1.0;
+      q = ast.insert->source.get();
+      break;
+    case QueryType::kUpdate:
+      return static_cast<double>(
+          db.tables()[ast.update->table_idx].num_rows());
+    case QueryType::kDelete:
+      return static_cast<double>(db.tables()[ast.del->table_idx].num_rows());
+  }
+  double prod = 1.0;
+  for (int t : q->tables) {
+    prod *= std::max<double>(1.0, static_cast<double>(
+        db.tables()[t].num_rows()));
+  }
+  return prod;
+}
+
+/// Index of the first differing byte, for fixpoint failure messages.
+size_t FirstDiff(const std::string& a, const std::string& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+bool TablesEqual(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      Value va = a.GetValue(r, c);
+      Value vb = b.GetValue(r, c);
+      if (va.is_null() != vb.is_null()) return false;
+      if (!va.is_null() && va.Compare(vb) != 0) return false;
+    }
+  }
+  return true;
+}
+
+int DmlTableIndex(const QueryAst& ast) {
+  switch (ast.type) {
+    case QueryType::kInsert:
+      return ast.insert->table_idx;
+    case QueryType::kUpdate:
+      return ast.update->table_idx;
+    case QueryType::kDelete:
+      return ast.del->table_idx;
+    case QueryType::kSelect:
+      break;
+  }
+  return -1;
+}
+
+}  // namespace
+
+DifferentialOracle::DifferentialOracle(Database* db, OracleOptions options)
+    : db_(db),
+      options_(options),
+      stats_(DatabaseStats::Collect(*db)),
+      estimator_(db, &stats_),
+      exec_(db),
+      dml_(db),
+      reference_(db, options.max_reference_work) {}
+
+std::optional<OracleViolation> DifferentialOracle::Check(const QueryAst& ast) {
+  ++checked_;
+  const std::string sql = RenderSql(ast, db_->catalog());
+
+  // 1. The optimized executor must accept every FSM-generated query. Join
+  // blowups past the intermediate-tuple cap are resource exhaustion, not
+  // bugs: skip the episode.
+  auto fast = exec_.Cardinality(ast);
+  if (!fast.ok()) {
+    if (fast.status().code() == StatusCode::kOutOfRange) {
+      ++skipped_;
+      return std::nullopt;
+    }
+    return OracleViolation{
+        "executor-error",
+        fast.status().ToString() + " sql=" + sql};
+  }
+  uint64_t fast_card = *fast;
+  if (options_.inject_card_offset != 0 && AstHasWhere(ast)) {
+    int64_t shifted =
+        static_cast<int64_t>(fast_card) + options_.inject_card_offset;
+    fast_card = shifted < 0 ? 0 : static_cast<uint64_t>(shifted);
+  }
+
+  // 2. Differential cardinality: optimized executor vs. naive reference.
+  if (options_.check_reference) {
+    auto ref = reference_.EvalAst(ast);
+    if (!ref.ok()) {
+      if (ref.status().code() == StatusCode::kOutOfRange) {
+        ++skipped_;
+      } else {
+        return OracleViolation{
+            "reference-error", ref.status().ToString() + " sql=" + sql};
+      }
+    } else if (*ref != fast_card) {
+      return OracleViolation{
+          "exec-vs-ref",
+          StrFormat("executor=%llu reference=%llu sql=",
+                    static_cast<unsigned long long>(fast_card),
+                    static_cast<unsigned long long>(*ref)) + sql};
+    }
+  }
+
+  // 3. Round trip: Render(Parse(Render(q))) must equal Render(q) byte for
+  // byte, and the reparsed AST must execute to the same cardinality.
+  if (options_.check_roundtrip) {
+    std::string rendered = sql;
+    if (options_.inject_render_space) {
+      size_t sp = rendered.find(' ');
+      if (sp != std::string::npos) rendered.insert(sp, " ");
+    }
+    auto parsed = ParseSql(rendered, db_->catalog());
+    if (!parsed.ok()) {
+      return OracleViolation{
+          "reparse-error", parsed.status().ToString() + " sql=" + rendered};
+    }
+    std::string again = RenderSql(*parsed, db_->catalog());
+    if (again != rendered) {
+      return OracleViolation{
+          "render-fixpoint",
+          StrFormat("first diff at byte %zu: ", FirstDiff(again, rendered)) +
+              "rendered=" + rendered + " reparsed=" + again};
+    }
+    auto re = exec_.Cardinality(*parsed);
+    if (!re.ok()) {
+      if (re.status().code() != StatusCode::kOutOfRange) {
+        return OracleViolation{
+            "reparse-error",
+            "reparsed query failed to execute: " + re.status().ToString() +
+                " sql=" + rendered};
+      }
+    } else if (*re != *fast) {
+      return OracleViolation{
+          "reparse-exec",
+          StrFormat("original=%llu reparsed=%llu sql=",
+                    static_cast<unsigned long long>(*fast),
+                    static_cast<unsigned long long>(*re)) + rendered};
+    }
+  }
+
+  // 4. Estimator sanity: finite, non-negative, below the cross product.
+  if (options_.check_estimator) {
+    double est = estimator_.EstimateCardinality(ast);
+    double bound =
+        options_.estimator_slack * CrossProductRows(ast, *db_) + 1.0;
+    if (!std::isfinite(est) || est < 0.0 || est > bound) {
+      return OracleViolation{
+          "estimator-bounds",
+          StrFormat("estimate=%g bound=%g sql=", est, bound) + sql};
+    }
+  }
+
+  // 5. DML applied for real under snapshot/rollback.
+  if (options_.check_dml_apply && ast.type != QueryType::kSelect) {
+    auto v = CheckDmlApply(ast, fast_card);
+    if (v.has_value()) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleViolation> DifferentialOracle::CheckDmlApply(
+    const QueryAst& ast, uint64_t predicted) {
+  // INSERT..SELECT apply needs full-row projection the engine does not
+  // implement; the dry-run count is already differentially checked above.
+  if (ast.type == QueryType::kInsert && ast.insert->source != nullptr) {
+    return std::nullopt;
+  }
+  const int table_idx = DmlTableIndex(ast);
+  const std::string sql = RenderSql(ast, db_->catalog());
+  const std::string table_name = db_->catalog().table(table_idx).name();
+  Table* live = db_->FindMutableTable(table_name);
+  if (live == nullptr) {
+    return OracleViolation{"dml-apply", "target table missing: " + sql};
+  }
+  const Table snapshot = *live;  // deep copy: schema + columns
+
+  auto applied = dml_.Apply(db_, ast);
+  if (!applied.ok()) {
+    *live = snapshot;
+    return OracleViolation{
+        "dml-apply", applied.status().ToString() + " sql=" + sql};
+  }
+  std::string failure;
+  if (*applied != predicted) {
+    failure = StrFormat("applied=%llu dry-run=%llu sql=",
+                        static_cast<unsigned long long>(*applied),
+                        static_cast<unsigned long long>(predicted)) + sql;
+  } else {
+    // Row-count delta must match the statement type.
+    const size_t before = snapshot.num_rows();
+    const size_t after = live->num_rows();
+    size_t expect = before;
+    if (ast.type == QueryType::kInsert) expect = before + 1;
+    if (ast.type == QueryType::kDelete) expect = before - *applied;
+    if (after != expect) {
+      failure = StrFormat("rows before=%zu after=%zu expected=%zu sql=",
+                          before, after, expect) + sql;
+    }
+  }
+  *live = snapshot;  // rollback
+  if (!failure.empty()) return OracleViolation{"dml-apply", failure};
+  // End-to-end rollback check: the restored table must be byte-identical
+  // and the dry run must still count the same rows it did before apply.
+  if (!TablesEqual(*live, snapshot)) {
+    return OracleViolation{"dml-rollback",
+                           "snapshot restore left " + table_name +
+                               " in a different state, sql=" + sql};
+  }
+  auto recount = exec_.Cardinality(ast);
+  if (!recount.ok() || *recount != *applied) {
+    return OracleViolation{
+        "dml-rollback",
+        StrFormat("post-rollback dry run %s (want %llu) sql=",
+                  recount.ok() ? StrFormat("counts %llu",
+                                           static_cast<unsigned long long>(
+                                               *recount)).c_str()
+                               : recount.status().ToString().c_str(),
+                  static_cast<unsigned long long>(*applied)) + sql};
+  }
+  return std::nullopt;
+}
+
+}  // namespace lsg

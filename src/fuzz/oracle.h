@@ -1,0 +1,92 @@
+#ifndef LEARNEDSQLGEN_FUZZ_ORACLE_H_
+#define LEARNEDSQLGEN_FUZZ_ORACLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "exec/dml_executor.h"
+#include "exec/executor.h"
+#include "fuzz/reference_eval.h"
+#include "optimizer/cardinality_estimator.h"
+#include "optimizer/column_stats.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace lsg {
+
+/// Tuning and fault-injection knobs for the oracle stack.
+struct OracleOptions {
+  bool check_reference = true;  ///< optimized executor vs. naive evaluator
+  bool check_roundtrip = true;  ///< render → parse → render fixpoint + re-exec
+  bool check_estimator = true;  ///< estimator finite / non-negative / bounded
+  bool check_dml_apply = true;  ///< DML apply-for-real under snapshot/rollback
+
+  /// Work budget per reference evaluation; exceeding it skips the check
+  /// (counted in skipped()) instead of stalling the fuzzer.
+  uint64_t max_reference_work = 1ull << 26;
+
+  /// Slack multiplier on the estimator's cross-product upper bound.
+  double estimator_slack = 1.5;
+
+  // --- fault injection, used to mutation-test the harness itself ---
+
+  /// Adds this offset to every executor cardinality that has a non-empty
+  /// WHERE (a synthetic executor bug the reference oracle must catch).
+  int64_t inject_card_offset = 0;
+
+  /// Doubles the first space of the rendered SQL (a synthetic renderer bug
+  /// the fixpoint oracle must catch).
+  bool inject_render_space = false;
+};
+
+/// One oracle violation: which oracle fired and why.
+struct OracleViolation {
+  std::string oracle;  ///< "exec-vs-ref", "render-fixpoint", ...
+  std::string detail;
+};
+
+/// The full correctness gate for one generated query, run in order:
+///   1. executor-error   — optimized executor must accept every FSM query
+///   2. exec-vs-ref      — cardinality equals the naive reference evaluator
+///   3. reparse-error / render-fixpoint / reparse-exec
+///                       — Render(Parse(Render(q))) == Render(q) byte-for-
+///                         byte and the reparsed AST executes identically
+///   4. estimator-bounds — estimate is finite, non-negative, and at most
+///                         slack × the join cross product
+///   5. dml-apply / dml-rollback
+///                       — DML applied for real affects exactly the
+///                         predicted rows; the snapshot restore leaves the
+///                         database byte-identical
+///
+/// `db` is mutated only inside check 5 and always restored before Check()
+/// returns, so episodes are independent.
+class DifferentialOracle {
+ public:
+  DifferentialOracle(Database* db, OracleOptions options = OracleOptions());
+
+  /// Runs every enabled oracle; nullopt means the query passed them all.
+  std::optional<OracleViolation> Check(const QueryAst& ast);
+
+  uint64_t checked() const { return checked_; }
+  /// Episodes where some check was skipped (join blowup / work budget).
+  uint64_t skipped() const { return skipped_; }
+
+ private:
+  std::optional<OracleViolation> CheckDmlApply(const QueryAst& ast,
+                                               uint64_t predicted);
+
+  Database* db_;
+  OracleOptions options_;
+  DatabaseStats stats_;
+  CardinalityEstimator estimator_;
+  Executor exec_;
+  DmlExecutor dml_;
+  ReferenceEvaluator reference_;
+  uint64_t checked_ = 0;
+  uint64_t skipped_ = 0;
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_FUZZ_ORACLE_H_

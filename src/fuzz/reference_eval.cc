@@ -1,0 +1,267 @@
+#include "fuzz/reference_eval.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "exec/expression.h"
+
+namespace lsg {
+
+Status ReferenceEvaluator::Charge(uint64_t units) const {
+  work_ += units;
+  if (work_ > max_work_) {
+    return Status::OutOfRange("reference evaluation exceeded its work budget");
+  }
+  return Status::Ok();
+}
+
+StatusOr<ReferenceEvaluator::Result> ReferenceEvaluator::EvalSelect(
+    const SelectQuery& q) const {
+  work_ = 0;
+  return EvalSelectRec(q);
+}
+
+StatusOr<ReferenceEvaluator::Result> ReferenceEvaluator::EvalSelectRec(
+    const SelectQuery& q) const {
+  // 1. Materialize the joined rows by nested loops.
+  std::vector<std::vector<uint32_t>> tuples;  // row per table in chain
+  for (size_t r = 0; r < db_->tables()[q.tables[0]].num_rows(); ++r) {
+    tuples.push_back({static_cast<uint32_t>(r)});
+  }
+  for (size_t i = 1; i < q.tables.size(); ++i) {
+    LSG_ASSIGN_OR_RETURN(Edge edge, FindEdge(q.tables, i));
+    std::vector<std::vector<uint32_t>> next;
+    const Table& nt = db_->tables()[q.tables[i]];
+    LSG_RETURN_IF_ERROR(Charge(tuples.size() * nt.num_rows()));
+    for (const auto& tup : tuples) {
+      for (size_t r = 0; r < nt.num_rows(); ++r) {
+        Value a = db_->tables()[q.tables[edge.probe_chain_pos]].GetValue(
+            tup[edge.probe_chain_pos], edge.probe_col);
+        Value b = nt.GetValue(r, edge.build_col);
+        if (!a.is_null() && !b.is_null() && a.Compare(b) == 0) {
+          auto extended = tup;
+          extended.push_back(static_cast<uint32_t>(r));
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    tuples = std::move(next);
+  }
+
+  // 2. WHERE.
+  std::vector<std::vector<uint32_t>> kept;
+  for (const auto& tup : tuples) {
+    LSG_ASSIGN_OR_RETURN(bool pass, EvalWhere(q, q.where, tup));
+    if (pass) kept.push_back(tup);
+  }
+
+  // 3. Aggregation.
+  Result out;
+  if (q.group_by.empty()) {
+    if (q.HasAggregate()) {
+      out.cardinality = 1;
+      out.first_column.push_back(Aggregate(q, q.items[0], kept));
+    } else {
+      out.cardinality = kept.size();
+      for (const auto& tup : kept) {
+        out.first_column.push_back(TupleValue(q, tup, q.items[0].column));
+      }
+    }
+    return out;
+  }
+  std::map<std::string, std::vector<std::vector<uint32_t>>> groups;
+  for (const auto& tup : kept) {
+    std::string key;
+    for (const ColumnRef& c : q.group_by) {
+      key += TupleValue(q, tup, c).ToSqlLiteral();
+      key += '\x1f';
+    }
+    groups[key].push_back(tup);
+  }
+  for (const auto& [key, rows] : groups) {
+    (void)key;
+    if (q.having.has_value()) {
+      std::vector<Value> col;
+      for (const auto& tup : rows) {
+        col.push_back(TupleValue(q, tup, q.having->column));
+      }
+      Value agg = AggValues(q.having->agg, col);
+      if (!CompareValues(agg, q.having->op, q.having->value)) continue;
+    }
+    ++out.cardinality;
+    const SelectItem& item = q.items[0];
+    if (item.agg == AggFunc::kNone) {
+      out.first_column.push_back(TupleValue(q, rows[0], item.column));
+    } else {
+      std::vector<Value> col;
+      for (const auto& tup : rows) {
+        col.push_back(TupleValue(q, tup, item.column));
+      }
+      out.first_column.push_back(AggValues(item.agg, col));
+    }
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ReferenceEvaluator::EvalAst(const QueryAst& ast) const {
+  work_ = 0;
+  switch (ast.type) {
+    case QueryType::kSelect: {
+      LSG_ASSIGN_OR_RETURN(Result r, EvalSelectRec(*ast.select));
+      return r.cardinality;
+    }
+    case QueryType::kInsert:
+      if (ast.insert->source != nullptr) {
+        LSG_ASSIGN_OR_RETURN(Result r, EvalSelectRec(*ast.insert->source));
+        return r.cardinality;
+      }
+      return static_cast<uint64_t>(1);
+    case QueryType::kUpdate:
+      return CountMatching(ast.update->table_idx, ast.update->where);
+    case QueryType::kDelete:
+      return CountMatching(ast.del->table_idx, ast.del->where);
+  }
+  return Status::InvalidArgument("unknown query type");
+}
+
+StatusOr<ReferenceEvaluator::Edge> ReferenceEvaluator::FindEdge(
+    const std::vector<int>& tables, size_t i) const {
+  const Catalog& cat = db_->catalog();
+  for (size_t j = 0; j < i; ++j) {
+    auto edges = cat.JoinEdges(cat.table(tables[j]).name(),
+                               cat.table(tables[i]).name());
+    if (edges.empty()) continue;
+    const ForeignKey& fk = edges[0];
+    Edge e;
+    e.probe_chain_pos = j;
+    const bool new_is_from = fk.from_table == cat.table(tables[i]).name();
+    e.probe_col = cat.table(tables[j]).FindColumn(
+        new_is_from ? fk.to_column : fk.from_column);
+    e.build_col = cat.table(tables[i]).FindColumn(
+        new_is_from ? fk.from_column : fk.to_column);
+    return e;
+  }
+  return Status::Internal("no FK edge for join");
+}
+
+Value ReferenceEvaluator::TupleValue(const SelectQuery& q,
+                                     const std::vector<uint32_t>& tup,
+                                     const ColumnRef& col) const {
+  for (size_t i = 0; i < q.tables.size(); ++i) {
+    if (q.tables[i] == col.table_idx) {
+      return db_->tables()[col.table_idx].GetValue(tup[i], col.column_idx);
+    }
+  }
+  return Value::Null();
+}
+
+StatusOr<bool> ReferenceEvaluator::EvalWhere(
+    const SelectQuery& q, const WhereClause& where,
+    const std::vector<uint32_t>& tup) const {
+  if (where.empty()) return true;
+  LSG_RETURN_IF_ERROR(Charge(where.predicates.size()));
+  std::vector<bool> preds;
+  for (const Predicate& p : where.predicates) {
+    LSG_ASSIGN_OR_RETURN(bool v, EvalPredicate(q, p, tup));
+    preds.push_back(v);
+  }
+  return CombinePredicates(preds, where.connectors);
+}
+
+StatusOr<bool> ReferenceEvaluator::EvalPredicate(
+    const SelectQuery& q, const Predicate& p,
+    const std::vector<uint32_t>& tup) const {
+  switch (p.kind) {
+    case PredicateKind::kValue:
+      return CompareValues(TupleValue(q, tup, p.column), p.op, p.value);
+    case PredicateKind::kLike: {
+      Value v = TupleValue(q, tup, p.column);
+      return v.is_string() && p.value.is_string() &&
+             LikeMatch(v.as_string(), p.value.as_string());
+    }
+    case PredicateKind::kScalarSub: {
+      LSG_ASSIGN_OR_RETURN(Result sub, EvalSelectRec(*p.subquery));
+      if (sub.cardinality != 1 || sub.first_column.empty()) return false;
+      return CompareValues(TupleValue(q, tup, p.column), p.op,
+                           sub.first_column[0]);
+    }
+    case PredicateKind::kInSub: {
+      Value v = TupleValue(q, tup, p.column);
+      if (v.is_null()) return false;
+      LSG_ASSIGN_OR_RETURN(Result sub, EvalSelectRec(*p.subquery));
+      for (const Value& m : sub.first_column) {
+        if (!m.is_null() && m.Compare(v) == 0) return true;
+      }
+      return false;
+    }
+    case PredicateKind::kExistsSub: {
+      LSG_ASSIGN_OR_RETURN(Result sub, EvalSelectRec(*p.subquery));
+      bool exists = sub.cardinality > 0;
+      return p.negated ? !exists : exists;
+    }
+  }
+  return false;
+}
+
+StatusOr<uint64_t> ReferenceEvaluator::CountMatching(
+    int table_idx, const WhereClause& where) const {
+  SelectQuery probe;
+  probe.tables = {table_idx};
+  uint64_t n = 0;
+  const Table& t = db_->tables()[table_idx];
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    LSG_ASSIGN_OR_RETURN(bool pass,
+                         EvalWhere(probe, where, {static_cast<uint32_t>(r)}));
+    if (pass) ++n;
+  }
+  return n;
+}
+
+Value ReferenceEvaluator::Aggregate(
+    const SelectQuery& q, const SelectItem& item,
+    const std::vector<std::vector<uint32_t>>& rows) const {
+  std::vector<Value> col;
+  for (const auto& tup : rows) {
+    col.push_back(TupleValue(q, tup, item.column));
+  }
+  return AggValues(item.agg, col);
+}
+
+Value ReferenceEvaluator::AggValues(AggFunc agg,
+                                    const std::vector<Value>& values) {
+  if (agg == AggFunc::kCount) {
+    int64_t n = 0;
+    for (const Value& v : values) {
+      if (!v.is_null()) ++n;
+    }
+    return Value(n);
+  }
+  std::optional<Value> best;
+  double sum = 0;
+  int64_t n = 0;
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    if (!best.has_value()) best = v;
+    if (agg == AggFunc::kMax && v.Compare(*best) > 0) best = v;
+    if (agg == AggFunc::kMin && v.Compare(*best) < 0) best = v;
+    if (v.is_numeric()) {
+      sum += v.AsNumber();
+      ++n;
+    }
+  }
+  if (!best.has_value()) return Value::Null();
+  switch (agg) {
+    case AggFunc::kMax:
+    case AggFunc::kMin:
+      return *best;
+    case AggFunc::kSum:
+      return Value(sum);
+    case AggFunc::kAvg:
+      return n > 0 ? Value(sum / n) : Value::Null();
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace lsg

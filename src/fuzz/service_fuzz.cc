@@ -1,0 +1,133 @@
+#include "fuzz/service_fuzz.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "fuzz/test_databases.h"
+#include "service/generation_service.h"
+
+namespace lsg {
+
+namespace {
+
+Constraint RandomConstraint(Rng* rng) {
+  ConstraintMetric metric = rng->Bernoulli(0.5)
+                                ? ConstraintMetric::kCardinality
+                                : ConstraintMetric::kCost;
+  double a = 1.0 + static_cast<double>(rng->Uniform(200));
+  if (rng->Bernoulli(0.5)) {
+    return Constraint::Point(metric, a);
+  }
+  return Constraint::Range(metric, a, a * (2 + rng->Uniform(6)));
+}
+
+}  // namespace
+
+Status FuzzGenerationService(const ServiceFuzzOptions& options) {
+  LSG_ASSIGN_OR_RETURN(Database db,
+                       BuildNamedDatabase(options.dataset, options.scale));
+
+  for (int round = 0; round < options.rounds; ++round) {
+    Rng rng(SplitMix64(options.seed + static_cast<uint64_t>(round)));
+    GenerationServiceOptions opts;
+    opts.num_workers = 1 + static_cast<int>(rng.Uniform(options.max_workers));
+    opts.queue_capacity = 2 + rng.Uniform(14);
+    opts.registry.capacity = 1 + rng.Uniform(4);
+    opts.gen.train_epochs = options.train_epochs;
+    opts.gen.trainer.batch_size = 4;
+    opts.gen.attempts_factor = 4;
+    opts.gen.seed = SplitMix64(options.seed ^ (round + 1));
+    const bool midrun_shutdown = (round % 2) == 1;
+
+    auto service = GenerationService::Create(&db, opts);
+    if (!service.ok()) return service.status();
+    if (options.verbose) {
+      LSG_LOG(Info) << "service fuzz round " << round << ": workers="
+                    << opts.num_workers << " queue=" << opts.queue_capacity
+                    << " cache=" << opts.registry.capacity
+                    << " midrun_shutdown=" << midrun_shutdown;
+    }
+
+    // Flood the service from a racing producer thread; requests mix
+    // blocking Submit with fail-fast TrySubmit, batch and satisfy modes.
+    std::vector<std::future<GenerationResponse>> futures;
+    std::mutex futures_mu;
+    std::thread producer([&] {
+      Rng prng(SplitMix64(options.seed + 1000 + round));
+      for (int i = 0; i < options.requests_per_round; ++i) {
+        GenerationRequest req;
+        req.constraint = RandomConstraint(&prng);
+        req.n = 1 + static_cast<int>(prng.Uniform(2));
+        req.batch = prng.Bernoulli(0.75);
+        req.id = static_cast<uint64_t>(i + 1);
+        if (prng.Bernoulli(0.25)) {
+          auto f = (*service)->TrySubmit(req);
+          if (f.ok()) {
+            std::lock_guard<std::mutex> lock(futures_mu);
+            futures.push_back(std::move(*f));
+          }
+          // Backpressure / post-shutdown rejections are orderly outcomes.
+        } else {
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back((*service)->Submit(req));
+        }
+      }
+    });
+
+    if (midrun_shutdown) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.Uniform(30)));
+      (*service)->Shutdown();
+    }
+    producer.join();
+    (*service)->Shutdown();
+    (*service)->Shutdown();  // must be idempotent
+
+    // Every accepted future must become ready with an orderly status.
+    for (auto& f : futures) {
+      if (f.wait_for(std::chrono::seconds(60)) !=
+          std::future_status::ready) {
+        return Status::Internal(
+            StrFormat("round %d: a submitted future never became ready",
+                      round));
+      }
+      GenerationResponse r = f.get();
+      if (!r.status.ok() &&
+          r.status.code() != StatusCode::kFailedPrecondition) {
+        return Status::Internal(
+            StrFormat("round %d: request %llu finished with unexpected "
+                      "status %s",
+                      round, static_cast<unsigned long long>(r.id),
+                      r.status.ToString().c_str()));
+      }
+    }
+
+    ServiceMetricsSnapshot m = (*service)->Metrics();
+    if (m.requests_completed + m.requests_failed + m.requests_rejected !=
+        m.requests_submitted) {
+      return Status::Internal(
+          StrFormat("round %d: metrics leak: submitted=%llu completed=%llu "
+                    "failed=%llu rejected=%llu",
+                    round,
+                    static_cast<unsigned long long>(m.requests_submitted),
+                    static_cast<unsigned long long>(m.requests_completed),
+                    static_cast<unsigned long long>(m.requests_failed),
+                    static_cast<unsigned long long>(m.requests_rejected)));
+    }
+    if (m.queue_depth_high_water > opts.queue_capacity) {
+      return Status::Internal(
+          StrFormat("round %d: queue high water %llu exceeds capacity %zu",
+                    round,
+                    static_cast<unsigned long long>(m.queue_depth_high_water),
+                    opts.queue_capacity));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lsg

@@ -1,0 +1,38 @@
+#ifndef LEARNEDSQLGEN_FUZZ_SERVICE_FUZZ_H_
+#define LEARNEDSQLGEN_FUZZ_SERVICE_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace lsg {
+
+struct ServiceFuzzOptions {
+  std::string dataset = "score";
+  double scale = 0.05;
+  int rounds = 4;             ///< independent service lifecycles
+  int requests_per_round = 16;
+  uint64_t seed = 7;
+  int train_epochs = 2;       ///< tiny on purpose; we hunt races, not quality
+  int max_workers = 4;
+  bool verbose = false;
+};
+
+/// Randomized stress of the concurrent GenerationService: every round
+/// creates a service with a random worker count, queue capacity, and
+/// registry size, floods it with a random constraint mix (point/range,
+/// cardinality/cost, Submit and TrySubmit), and on odd rounds shuts the
+/// service down mid-run from a racing thread. Invariants checked:
+///   - every submitted future becomes ready (no hangs, no lost promises)
+///   - per-request statuses are OK or an orderly rejection
+///   - metrics stay consistent (completed + failed + rejected == submitted,
+///     queue high-water within capacity)
+///   - Shutdown is idempotent
+/// Run it under `LSG_SANITIZE=thread` to turn data races into failures.
+/// Returns Internal with a description on any violation.
+Status FuzzGenerationService(const ServiceFuzzOptions& options);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_FUZZ_SERVICE_FUZZ_H_

@@ -1,0 +1,47 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+
+namespace lsg {
+
+ShrinkResult ShrinkTrace(
+    const std::vector<int>& actions,
+    const std::function<bool(const std::vector<int>&)>& still_fails,
+    int max_probes) {
+  ShrinkResult result;
+  result.actions = actions;
+
+  size_t chunk = std::max<size_t>(1, result.actions.size() / 2);
+  while (result.probes < max_probes) {
+    bool any_removed = false;
+    for (size_t start = 0; start < result.actions.size();) {
+      if (result.probes >= max_probes) break;
+      size_t len = std::min(chunk, result.actions.size() - start);
+      std::vector<int> candidate;
+      candidate.reserve(result.actions.size() - len);
+      candidate.insert(candidate.end(), result.actions.begin(),
+                       result.actions.begin() + start);
+      candidate.insert(candidate.end(),
+                       result.actions.begin() + start + len,
+                       result.actions.end());
+      ++result.probes;
+      if (still_fails(candidate)) {
+        result.removed += static_cast<int>(len);
+        result.actions = std::move(candidate);
+        any_removed = true;
+        // Same start now addresses the next chunk; don't advance.
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1) {
+      if (!any_removed) break;  // 1-minimal: a full pass removed nothing
+    } else {
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+    if (result.actions.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace lsg

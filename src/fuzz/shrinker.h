@@ -1,0 +1,31 @@
+#ifndef LEARNEDSQLGEN_FUZZ_SHRINKER_H_
+#define LEARNEDSQLGEN_FUZZ_SHRINKER_H_
+
+#include <functional>
+#include <vector>
+
+namespace lsg {
+
+/// Outcome of minimizing a failing action trace.
+struct ShrinkResult {
+  std::vector<int> actions;  ///< minimized trace (still failing)
+  int probes = 0;            ///< candidate traces evaluated
+  int removed = 0;           ///< actions removed from the original
+};
+
+/// Delta-debugging over action traces (ddmin-style greedy chunk removal):
+/// repeatedly tries to delete contiguous chunks — halving the chunk size
+/// down to single actions — keeping any deletion after which `still_fails`
+/// still returns true. The predicate is expected to replay the candidate
+/// through the FSM with legality repair (see ReplayActions), so *every*
+/// subsequence is a meaningful candidate. Runs until a full pass at chunk
+/// size 1 removes nothing, i.e. the result is 1-minimal, or `max_probes`
+/// candidates have been evaluated.
+ShrinkResult ShrinkTrace(
+    const std::vector<int>& actions,
+    const std::function<bool(const std::vector<int>&)>& still_fails,
+    int max_probes = 2000);
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_FUZZ_SHRINKER_H_

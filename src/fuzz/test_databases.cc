@@ -1,0 +1,62 @@
+#include "fuzz/test_databases.h"
+
+#include "common/logging.h"
+#include "datasets/job_like.h"
+#include "datasets/tpch_like.h"
+#include "datasets/xuetang_like.h"
+
+namespace lsg {
+
+Database BuildScoreStudentDb() {
+  Database db;
+  {
+    TableSchema s("Student");
+    LSG_CHECK_OK(s.AddColumn({"ID", DataType::kInt64, true, false}));
+    LSG_CHECK_OK(s.AddColumn({"Name", DataType::kString, false, false}));
+    LSG_CHECK_OK(s.AddColumn({"Gender", DataType::kCategorical, false, false}));
+    Table t(std::move(s));
+    const char* names[] = {"Ada", "Bob", "Cat", "Dan", "Eve",
+                           "Fay", "Gus", "Hal", "Ivy", "Joe"};
+    for (int i = 0; i < 10; ++i) {
+      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}), Value(names[i]),
+                                Value(i % 2 == 0 ? "F" : "M")}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+  {
+    TableSchema s("Score");
+    LSG_CHECK_OK(s.AddColumn({"SID", DataType::kInt64, true, false}));
+    LSG_CHECK_OK(s.AddColumn({"ID", DataType::kInt64, false, false}));
+    LSG_CHECK_OK(s.AddColumn({"Course", DataType::kCategorical, false, false}));
+    LSG_CHECK_OK(s.AddColumn({"Grade", DataType::kDouble, false, false}));
+    Table t(std::move(s));
+    // 30 rows: student i has 3 scores, grades 60 + (row % 41).
+    const char* courses[] = {"math", "db", "ml"};
+    for (int i = 0; i < 30; ++i) {
+      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}), Value(int64_t{i % 10}),
+                                Value(courses[i % 3]),
+                                Value(60.0 + (i * 7) % 41)}));
+    }
+    LSG_CHECK_OK(db.AddTable(std::move(t)));
+  }
+  LSG_CHECK_OK(db.AddForeignKey({"Score", "ID", "Student", "ID"}));
+  return db;
+}
+
+const std::vector<std::string>& FuzzDatasetNames() {
+  static const std::vector<std::string> kNames = {"score", "tpch", "job",
+                                                  "xuetang"};
+  return kNames;
+}
+
+StatusOr<Database> BuildNamedDatabase(const std::string& name, double scale) {
+  DatasetScale s;
+  s.factor = scale;
+  if (name == "score") return BuildScoreStudentDb();
+  if (name == "tpch" || name == "TPC-H") return BuildTpchLike(s);
+  if (name == "job" || name == "JOB") return BuildJobLike(s);
+  if (name == "xuetang" || name == "XueTang") return BuildXuetangLike(s);
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+}  // namespace lsg

@@ -55,6 +55,40 @@ void Column::AppendNull() {
   valid_.push_back(false);
 }
 
+Status Column::SetValue(size_t row, const Value& v) {
+  LSG_CHECK(row < size());
+  if (v.is_null()) {
+    valid_[row] = false;
+    return Status::Ok();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int()) {
+        return Status::InvalidArgument("expected INT64 value");
+      }
+      ints_[row] = v.as_int();
+      break;
+    case DataType::kDouble:
+      if (v.is_int()) {
+        doubles_[row] = static_cast<double>(v.as_int());
+      } else if (v.is_double()) {
+        doubles_[row] = v.as_double();
+      } else {
+        return Status::InvalidArgument("expected DOUBLE value");
+      }
+      break;
+    case DataType::kString:
+    case DataType::kCategorical:
+      if (!v.is_string()) {
+        return Status::InvalidArgument("expected STRING value");
+      }
+      strings_[row] = v.as_string();
+      break;
+  }
+  valid_[row] = true;
+  return Status::Ok();
+}
+
 Value Column::GetValue(size_t row) const {
   LSG_DCHECK(row < size());
   if (!valid_[row]) return Value::Null();

@@ -28,6 +28,10 @@ class Column {
   /// Appends a NULL.
   void AppendNull();
 
+  /// Overwrites one cell in place (UPDATE). Same type rules as Append;
+  /// a NULL value clears the cell. Returns InvalidArgument on mismatch.
+  Status SetValue(size_t row, const Value& v);
+
   bool IsNull(size_t row) const { return !valid_[row]; }
 
   /// Materializes the cell as a Value (NULL-aware).

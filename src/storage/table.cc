@@ -31,6 +31,25 @@ Status Table::AppendRow(const std::vector<Value>& values) {
   return Status::Ok();
 }
 
+Status Table::SetValue(size_t row, size_t col, const Value& v) {
+  if (row >= num_rows_ || col >= columns_.size()) {
+    return Status::OutOfRange(
+        StrFormat("cell (%zu, %zu) outside table %s", row, col,
+                  schema_.name().c_str()));
+  }
+  if (v.is_null() && !schema_.column(col).nullable) {
+    return Status::InvalidArgument("NULL in non-nullable column " +
+                                   schema_.column(col).name);
+  }
+  return columns_[col].SetValue(row, v);
+}
+
+void Table::FilterRows(const std::vector<bool>& keep) {
+  LSG_CHECK(keep.size() == num_rows_);
+  for (Column& c : columns_) c.FilterRows(keep);
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+}
+
 std::string Table::DebugRows(size_t limit) const {
   std::string out = schema_.ToString() + "\n";
   size_t n = std::min(limit, num_rows_);

@@ -35,6 +35,14 @@ class Table {
     return columns_[col].GetValue(row);
   }
 
+  /// Overwrites one cell (UPDATE). Value must match the column type and
+  /// may only be NULL when the column is nullable.
+  Status SetValue(size_t row, size_t col, const Value& v);
+
+  /// Removes rows where keep[row] is false (DELETE). keep.size() must
+  /// equal num_rows().
+  void FilterRows(const std::vector<bool>& keep);
+
   /// Renders the first `limit` rows for debugging.
   std::string DebugRows(size_t limit) const;
 

@@ -1,50 +1,9 @@
 #ifndef LEARNEDSQLGEN_TESTS_TEST_DB_H_
 #define LEARNEDSQLGEN_TESTS_TEST_DB_H_
 
-#include "common/logging.h"
-#include "storage/table.h"
-
-namespace lsg {
-
-/// The paper's running example (Figure 1): Score(T1) and Student(T2) with a
-/// PK-FK edge Score.ID -> Student.ID. Deterministic contents so tests can
-/// assert exact cardinalities.
-inline Database BuildScoreStudentDb() {
-  Database db;
-  {
-    TableSchema s("Student");
-    LSG_CHECK_OK(s.AddColumn({"ID", DataType::kInt64, true, false}));
-    LSG_CHECK_OK(s.AddColumn({"Name", DataType::kString, false, false}));
-    LSG_CHECK_OK(s.AddColumn({"Gender", DataType::kCategorical, false, false}));
-    Table t(std::move(s));
-    const char* names[] = {"Ada", "Bob", "Cat", "Dan", "Eve",
-                           "Fay", "Gus", "Hal", "Ivy", "Joe"};
-    for (int i = 0; i < 10; ++i) {
-      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}), Value(names[i]),
-                                Value(i % 2 == 0 ? "F" : "M")}));
-    }
-    LSG_CHECK_OK(db.AddTable(std::move(t)));
-  }
-  {
-    TableSchema s("Score");
-    LSG_CHECK_OK(s.AddColumn({"SID", DataType::kInt64, true, false}));
-    LSG_CHECK_OK(s.AddColumn({"ID", DataType::kInt64, false, false}));
-    LSG_CHECK_OK(s.AddColumn({"Course", DataType::kCategorical, false, false}));
-    LSG_CHECK_OK(s.AddColumn({"Grade", DataType::kDouble, false, false}));
-    Table t(std::move(s));
-    // 30 rows: student i has 3 scores, grades 60 + (row % 41).
-    const char* courses[] = {"math", "db", "ml"};
-    for (int i = 0; i < 30; ++i) {
-      LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}), Value(int64_t{i % 10}),
-                                Value(courses[i % 3]),
-                                Value(60.0 + (i * 7) % 41)}));
-    }
-    LSG_CHECK_OK(db.AddTable(std::move(t)));
-  }
-  LSG_CHECK_OK(db.AddForeignKey({"Score", "ID", "Student", "ID"}));
-  return db;
-}
-
-}  // namespace lsg
+// BuildScoreStudentDb() moved into the fuzzing library so the fuzzer,
+// benches, and tests all share one set of builders; this shim keeps the
+// historical include path working for the test suite.
+#include "fuzz/test_databases.h"
 
 #endif  // LEARNEDSQLGEN_TESTS_TEST_DB_H_
