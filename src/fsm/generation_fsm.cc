@@ -299,11 +299,11 @@ void GenerationFsm::MaskSelectFrame() {
               f.scope_tables.end()) {
             continue;
           }
-          bool joinable = false;
+          bool joinable = profile_.inject_join_edge_gap;
           for (int prev : f.scope_tables) {
+            if (joinable) break;
             if (cat.AreJoinable(cat.table(prev).name(), cat.table(t).name())) {
               joinable = true;
-              break;
             }
           }
           if (joinable) {
@@ -320,6 +320,10 @@ void GenerationFsm::MaskSelectFrame() {
         int t = static_cast<int>(ti);
         if (std::find(f.scope_tables.begin(), f.scope_tables.end(), t) !=
             f.scope_tables.end()) {
+          continue;
+        }
+        if (profile_.inject_join_edge_gap) {
+          Allow(vocab_->table_token_id(t));
           continue;
         }
         for (int prev : f.scope_tables) {
@@ -463,7 +467,8 @@ void GenerationFsm::MaskSelectFrame() {
       // Column for the pending aggregate.
       AggFunc agg = f.pending_agg;
       for_each_scope_column([&](const ColumnRef& c) {
-        if (AggregateAllowedForType(
+        if (profile_.inject_agg_type_gap ||
+            AggregateAllowedForType(
                 agg, cat.table(c.table_idx).column(c.column_idx).type)) {
           Allow(vocab_->column_token_id(c.table_idx, c.column_idx));
         }

@@ -98,11 +98,25 @@ DifferentialOracle::DifferentialOracle(Database* db, OracleOptions options)
       estimator_(db, &stats_),
       exec_(db),
       dml_(db),
-      reference_(db, options.max_reference_work) {}
+      reference_(db, options.max_reference_work),
+      linter_(&db->catalog()) {}
 
 std::optional<OracleViolation> DifferentialOracle::Check(const QueryAst& ast) {
   ++checked_;
   const std::string sql = RenderSql(ast, db_->catalog());
+
+  // 0. Static lint: every FSM-generated query must satisfy the AST-level
+  // semantic rules. The linter re-derives the rule set from the catalog
+  // alone (never from fsm/semantic_rules.cc), so it catches masking gaps
+  // the dynamic oracles below would execute right through.
+  if (options_.check_lint) {
+    std::vector<LintIssue> issues = linter_.Lint(ast);
+    if (!issues.empty()) {
+      return OracleViolation{
+          "lint", std::string(LintRuleName(issues[0].rule)) + ": " +
+                      issues[0].message + " sql=" + sql};
+    }
+  }
 
   // 1. The optimized executor must accept every FSM-generated query. Join
   // blowups past the intermediate-tuple cap are resource exhaustion, not

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/sql_linter.h"
 #include "exec/dml_executor.h"
 #include "exec/executor.h"
 #include "fuzz/reference_eval.h"
@@ -17,6 +18,7 @@ namespace lsg {
 
 /// Tuning and fault-injection knobs for the oracle stack.
 struct OracleOptions {
+  bool check_lint = true;       ///< AST-level semantic lint (SqlLinter)
   bool check_reference = true;  ///< optimized executor vs. naive evaluator
   bool check_roundtrip = true;  ///< render → parse → render fixpoint + re-exec
   bool check_estimator = true;  ///< estimator finite / non-negative / bounded
@@ -47,6 +49,8 @@ struct OracleViolation {
 };
 
 /// The full correctness gate for one generated query, run in order:
+///   0. lint             — the AST satisfies every SqlLinter semantic rule
+///                         (independent re-derivation of the FSM's masks)
 ///   1. executor-error   — optimized executor must accept every FSM query
 ///   2. exec-vs-ref      — cardinality equals the naive reference evaluator
 ///   3. reparse-error / render-fixpoint / reparse-exec
@@ -83,6 +87,7 @@ class DifferentialOracle {
   Executor exec_;
   DmlExecutor dml_;
   ReferenceEvaluator reference_;
+  SqlLinter linter_;
   uint64_t checked_ = 0;
   uint64_t skipped_ = 0;
 };

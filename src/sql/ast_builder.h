@@ -121,6 +121,8 @@ class AstBuilder {
 
   /// Current (innermost) frame and phase.
   const BuildFrame& frame() const { return stack_.back(); }
+  /// Full frame stack, outermost first (state abstraction in src/analysis).
+  const std::vector<BuildFrame>& frames() const { return stack_; }
   BuildPhase phase() const { return stack_.back().phase; }
   int depth() const { return static_cast<int>(stack_.size()); }
 
