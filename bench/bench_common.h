@@ -140,6 +140,53 @@ inline std::unique_ptr<SqlGenEnvironment> MakeEnv(DatasetContext* ctx,
       &ctx->gen->cost_model(), c, eo);
 }
 
+// ------------------------------------------------------ json output
+
+/// `--json OUT` support: benches that emit machine-readable rows mirror
+/// them into OUT as one JSON array (stdout keeps the human stream).
+/// Returns "" when the flag is absent.
+inline std::string JsonOutPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Collects JSON object rows and writes them as a single well-formed JSON
+/// array on Flush()/destruction. Inert when constructed with an empty path,
+/// so benches can call AddRow unconditionally.
+class JsonRowWriter {
+ public:
+  explicit JsonRowWriter(std::string path) : path_(std::move(path)) {}
+  ~JsonRowWriter() { Flush(); }
+
+  void AddRow(std::string row) {
+    if (!path_.empty()) rows_.push_back(std::move(row));
+  }
+
+  void Flush() {
+    if (path_.empty() || flushed_) return;
+    flushed_ = true;
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --json output %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+  bool flushed_ = false;
+};
+
 // ------------------------------------------------------ result printing
 
 inline void PrintHeader(const std::string& title) {

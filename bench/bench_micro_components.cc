@@ -3,6 +3,9 @@
 // forward/backward, and vocabulary construction.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/workload.h"
 #include "datasets/tpch_like.h"
 #include "exec/executor.h"
@@ -191,4 +194,27 @@ BENCHMARK(BM_StatsCollect);
 }  // namespace
 }  // namespace lsg
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the repo-wide `--json OUT` convention: the flag is
+// translated into google-benchmark's --benchmark_out=OUT (json format), so
+// every bench binary shares one way to ask for machine-readable results.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      storage.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int pargc = static_cast<int>(args.size());
+  benchmark::Initialize(&pargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -47,7 +47,7 @@ std::vector<Constraint> MixedWorkload(const DatasetContext& ctx,
 void RunAtConcurrency(const Database* db,
                       const std::vector<Constraint>& workload,
                       const std::string& dataset, int workers, int epochs,
-                      int n_per_request) {
+                      int n_per_request, JsonRowWriter* json) {
   GenerationServiceOptions opts;
   opts.num_workers = workers;
   opts.queue_capacity = workload.size();
@@ -79,29 +79,34 @@ void RunAtConcurrency(const Database* db,
   double seconds = wall.ElapsedSeconds();
 
   ServiceMetricsSnapshot m = (*service)->Metrics();
-  std::printf(
+  std::string row = StrFormat(
       "{\"bench\": \"service_throughput\", \"dataset\": \"%s\", "
       "\"workers\": %d, \"requests\": %zu, \"seconds\": %.3f, "
       "\"requests_per_sec\": %.3f, \"queries_per_sec\": %.3f, "
       "\"cache_hit_rate\": %.4f, \"satisfied_rate\": %.4f, "
-      "\"trainings\": %llu, \"queue_depth_high_water\": %llu}\n",
+      "\"trainings\": %llu, \"queue_depth_high_water\": %llu, "
+      "\"busy_seconds\": %.3f}",
       dataset.c_str(), workers, workload.size(), seconds,
       static_cast<double>(workload.size()) / seconds,
       static_cast<double>(queries) / seconds, m.cache_hit_rate(),
       m.satisfied_rate(), static_cast<unsigned long long>(m.trainings),
-      static_cast<unsigned long long>(m.queue_depth_high_water));
+      static_cast<unsigned long long>(m.queue_depth_high_water),
+      m.busy_seconds);
+  std::printf("%s\n", row.c_str());
   std::fflush(stdout);
+  if (json != nullptr) json->AddRow(std::move(row));
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace lsg
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsg;
   using namespace lsg::bench;
 
   BenchConfig cfg = BenchConfig::FromEnv();
+  JsonRowWriter json(JsonOutPathFromArgs(argc, argv));
   // Service-bench scale: LSG_N requests (default shrunk: every miss is a
   // full training run), LSG_EPOCHS/5 epochs per model.
   const int requests = std::max(8, cfg.n / 4);
@@ -117,7 +122,7 @@ int main() {
 
   for (int workers : {1, 2, 4, 8}) {
     RunAtConcurrency(&ctx.db, workload, dataset, workers, epochs,
-                     n_per_request);
+                     n_per_request, &json);
   }
   return 0;
 }

@@ -2,11 +2,14 @@
 #define LEARNEDSQLGEN_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace lsg {
 
-/// Simple wall-clock stopwatch for the generation-time experiments
-/// (Figures 6, 7, 8b, 9b, 11 report generation time).
+/// Monotonic stopwatch for the generation-time experiments (Figures 6, 7,
+/// 8b, 9b, 11 report generation time) and the observability layer's span
+/// timing. Always steady_clock: timings must never jump with wall-clock
+/// adjustments (NTP slew, suspend).
 class Stopwatch {
  public:
   Stopwatch() { Restart(); }
@@ -22,8 +25,27 @@ class Stopwatch {
   /// Elapsed milliseconds since construction/Restart.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed integer nanoseconds since construction/Restart (span tracer
+  /// resolution).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Monotonic nanoseconds since an arbitrary fixed epoch (process-wide
+  /// comparable; not wall time).
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "timings must come from a monotonic clock");
   Clock::time_point start_;
 };
 

@@ -1,6 +1,10 @@
 #include "core/environment.h"
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/episode_telemetry.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
 
 namespace lsg {
 
@@ -17,18 +21,38 @@ SqlGenEnvironment::SqlGenEnvironment(const Database* db,
       reward_(constraint),
       options_(options),
       fsm_(db, vocab, options.profile),
-      executor_(db) {
+      executor_(db),
+      constraint_str_(constraint.ToString()) {
   LSG_CHECK(estimator != nullptr && cost_model != nullptr);
 }
 
-void SqlGenEnvironment::Reset() { fsm_.Reset(); }
+void SqlGenEnvironment::Reset() {
+  fsm_.Reset();
+  if (obs::Enabled()) {
+    ep_reward_sum_ = 0.0;
+    ep_steps_ = 0;
+    ep_mask_width_sum_ = 0;
+    ep_mask_evals_ = 0;
+    ep_feedback_calls_at_reset_ = feedback_calls_;
+    ep_start_ns_ = Stopwatch::NowNanos();
+  }
+}
 
 const std::vector<uint8_t>& SqlGenEnvironment::ValidActions() {
-  return fsm_.ValidActions();
+  const std::vector<uint8_t>& mask = fsm_.ValidActions();
+  if (obs::Enabled()) {
+    ep_mask_width_sum_ += static_cast<uint64_t>(fsm_.last_mask_width());
+    ep_mask_evals_ += 1;
+  }
+  return mask;
 }
 
 double SqlGenEnvironment::MetricOf(const QueryAst& ast) const {
   ++feedback_calls_;
+  obs::ScopedHistogramTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("env.feedback_ns")
+          : nullptr);
   if (options_.feedback == FeedbackSource::kTrueExecution) {
     if (reward_.constraint().metric == ConstraintMetric::kCardinality) {
       auto card = executor_.Cardinality(ast);
@@ -51,13 +75,41 @@ double SqlGenEnvironment::MetricOf(const QueryAst& ast) const {
   return cost_model_->EstimateCost(ast);
 }
 
+void SqlGenEnvironment::RecordEpisodeRow(const EnvStepResult& final_step) {
+  obs::EpisodeTelemetry* sink = obs::EpisodeSink();
+  if (sink == nullptr) return;
+  obs::EpisodeRow row;
+  row.constraint = constraint_str_;
+  row.reward = ep_reward_sum_;
+  row.final_metric = final_step.metric;
+  row.satisfied = final_step.satisfied;
+  row.tokens = ep_steps_;
+  row.estimator_calls =
+      static_cast<int>(feedback_calls_ - ep_feedback_calls_at_reset_);
+  row.mean_mask_width =
+      ep_mask_evals_ == 0 ? 0.0
+                          : static_cast<double>(ep_mask_width_sum_) /
+                                static_cast<double>(ep_mask_evals_);
+  row.wall_seconds =
+      static_cast<double>(Stopwatch::NowNanos() - ep_start_ns_) / 1e9;
+  sink->Record(row);
+  static obs::Counter& episodes =
+      obs::MetricsRegistry::Global().GetCounter("env.episodes");
+  static obs::Counter& satisfied =
+      obs::MetricsRegistry::Global().GetCounter("env.episodes_satisfied");
+  episodes.Inc();
+  if (final_step.satisfied) satisfied.Inc();
+}
+
 StatusOr<EnvStepResult> SqlGenEnvironment::Step(int action) {
+  LSG_OBS_SPAN("env.step");
   LSG_RETURN_IF_ERROR(fsm_.Step(action));
   EnvStepResult out;
   out.done = fsm_.done();
   out.executable = out.done || fsm_.IsExecutablePrefix();
   if (!out.done && !options_.dense_partial_rewards) {
     // Sparse-reward ablation: partial queries earn nothing.
+    if (obs::Enabled()) ++ep_steps_;
     return out;
   }
   if (out.executable) {
@@ -66,6 +118,11 @@ StatusOr<EnvStepResult> SqlGenEnvironment::Step(int action) {
     out.satisfied = reward_.constraint().Satisfied(out.metric);
   } else {
     out.reward = 0.0;
+  }
+  if (obs::Enabled()) {
+    ++ep_steps_;
+    ep_reward_sum_ += out.reward;
+    if (out.done) RecordEpisodeRow(out);
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define LEARNEDSQLGEN_CORE_ENVIRONMENT_H_
 
 #include <cstdint>
+#include <string>
 
 #include "exec/executor.h"
 #include "fsm/generation_fsm.h"
@@ -58,6 +59,10 @@ class SqlGenEnvironment : public Environment {
   int64_t feedback_calls() const { return feedback_calls_; }
 
  private:
+  /// Emits the completed episode's telemetry row to the global episode
+  /// sink (no-op unless obs::Enabled() and a sink is installed).
+  void RecordEpisodeRow(const EnvStepResult& final_step);
+
   const Database* db_;
   const Vocabulary* vocab_;
   const CardinalityEstimator* estimator_;
@@ -67,6 +72,18 @@ class SqlGenEnvironment : public Environment {
   GenerationFsm fsm_;
   Executor executor_;
   mutable int64_t feedback_calls_ = 0;
+
+  // Per-episode telemetry accumulators (active only while obs::Enabled();
+  // see src/obs/). The environment is the one place that sees every step
+  // of every episode, for trainers and inference alike, so episode rows
+  // are recorded here rather than in each driver.
+  std::string constraint_str_;       ///< cached Constraint::ToString()
+  double ep_reward_sum_ = 0.0;
+  int ep_steps_ = 0;
+  uint64_t ep_mask_width_sum_ = 0;
+  uint64_t ep_mask_evals_ = 0;
+  int64_t ep_feedback_calls_at_reset_ = 0;
+  uint64_t ep_start_ns_ = 0;
 };
 
 }  // namespace lsg

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "nn/serialize.h"
+#include "obs/span_tracer.h"
 #include "sql/render.h"
 
 namespace lsg {
@@ -34,6 +35,7 @@ Status LearnedSqlGen::Train(const Constraint& constraint) {
 }
 
 Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
+  LSG_OBS_SPAN("gen.train");
   EnvironmentOptions env_opts;
   env_opts.profile = options_.profile;
   env_opts.feedback = options_.feedback;
@@ -100,6 +102,7 @@ StatusOr<Trajectory> LearnedSqlGen::GenerateOne() {
 }
 
 StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n) {
+  LSG_OBS_SPAN("gen.generate_satisfied");
   GenerationReport report;
   report.train_seconds = train_seconds_;
   report.trace = trace_;
@@ -130,6 +133,7 @@ StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n) {
 }
 
 StatusOr<GenerationReport> LearnedSqlGen::GenerateBatch(int n) {
+  LSG_OBS_SPAN("gen.generate_batch");
   GenerationReport report;
   report.train_seconds = train_seconds_;
   report.trace = trace_;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "exec/expression.h"
+#include "obs/metrics_registry.h"
 
 namespace lsg {
 
@@ -251,6 +252,10 @@ Status Executor::ApplyWhere(const WhereClause& where, TupleSet* ts,
 
 StatusOr<SelectResult> Executor::ExecuteSelect(
     const SelectQuery& q, bool materialize_first_column) const {
+  obs::ScopedHistogramTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("exec.select_ns")
+          : nullptr);
   SelectResult result;
   LSG_ASSIGN_OR_RETURN(TupleSet ts, BuildJoin(q, &result.stats));
   LSG_RETURN_IF_ERROR(ApplyWhere(q.where, &ts, &result.stats));

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fsm/semantic_rules.h"
+#include "obs/metrics_registry.h"
 
 namespace lsg {
 
@@ -123,6 +124,18 @@ const std::vector<uint8_t>& GenerationFsm::ValidActions() {
     default:
       MaskSelectFrame();
       break;
+  }
+  if (obs::Enabled()) {
+    // Mask pressure: how many actions the FSM leaves open per decision.
+    uint64_t width = 0;
+    for (uint8_t m : mask_) width += m != 0 ? 1 : 0;
+    last_mask_width_ = static_cast<int>(width);
+    static obs::Counter& evals =
+        obs::MetricsRegistry::Global().GetCounter("fsm.mask_evals");
+    static obs::Counter& width_sum =
+        obs::MetricsRegistry::Global().GetCounter("fsm.mask_width_sum");
+    evals.Inc();
+    width_sum.Add(width);
   }
   return mask_;
 }
@@ -786,7 +799,20 @@ Status GenerationFsm::Step(int action_id) {
   if (action_id < 0 || action_id >= vocab_->size()) {
     return Status::InvalidArgument("action id out of range");
   }
-  return builder_.Feed(vocab_->token(action_id));
+  const Token& token = vocab_->token(action_id);
+  if (obs::Enabled()) {
+    // Token-class mix of the committed actions (paper §4.1 categories).
+    static obs::Counter* const by_kind[] = {
+        &obs::MetricsRegistry::Global().GetCounter("fsm.tokens_keyword"),
+        &obs::MetricsRegistry::Global().GetCounter("fsm.tokens_table"),
+        &obs::MetricsRegistry::Global().GetCounter("fsm.tokens_column"),
+        &obs::MetricsRegistry::Global().GetCounter("fsm.tokens_value"),
+        &obs::MetricsRegistry::Global().GetCounter("fsm.tokens_operator"),
+        &obs::MetricsRegistry::Global().GetCounter("fsm.tokens_eof"),
+    };
+    by_kind[static_cast<int>(token.kind)]->Inc();
+  }
+  return builder_.Feed(token);
 }
 
 

@@ -97,6 +97,11 @@ class GenerationFsm {
   const QueryProfile& profile() const { return profile_; }
   const Vocabulary& vocab() const { return *vocab_; }
 
+  /// Number of valid actions in the most recent ValidActions() mask;
+  /// maintained only while obs::Enabled() (0 otherwise). Feeds the
+  /// per-episode mask-pressure telemetry.
+  int last_mask_width() const { return last_mask_width_; }
+
  private:
   void MaskStart(bool sub);
   void MaskSelectFrame();
@@ -119,6 +124,7 @@ class GenerationFsm {
   QueryProfile profile_;
   AstBuilder builder_;
   std::vector<uint8_t> mask_;
+  int last_mask_width_ = 0;
 };
 
 }  // namespace lsg

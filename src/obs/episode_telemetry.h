@@ -1,0 +1,88 @@
+#ifndef LEARNEDSQLGEN_OBS_EPISODE_TELEMETRY_H_
+#define LEARNEDSQLGEN_OBS_EPISODE_TELEMETRY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace lsg {
+namespace obs {
+
+/// One generation episode as seen by the environment: the per-episode view
+/// of the paper's feedback loop (constraint in, reward out, and what it
+/// cost to compute).
+struct EpisodeRow {
+  std::string constraint;       ///< Constraint::ToString()
+  std::string tag;              ///< phase label ("train", "generate", ...)
+  double reward = 0.0;          ///< Σ step rewards (== Trajectory::TotalReward)
+  double final_metric = 0.0;    ///< estimated card/cost of the final query
+  bool satisfied = false;
+  int tokens = 0;               ///< actions taken (episode length)
+  int estimator_calls = 0;      ///< feedback evaluations this episode
+  double mean_mask_width = 0.0; ///< mean #valid actions per step (FSM pressure)
+  double wall_seconds = 0.0;
+};
+
+/// Append-only episode log with size-based rotation. Rows go to `path`;
+/// when a file reaches `max_rows_per_file` it is rotated to `path.1`
+/// (existing `path.1` -> `path.2`, ...) and files beyond `max_files`
+/// (active file included) are deleted — oldest rows age out first.
+///
+/// Format follows the extension: ".csv" writes a header + CSV rows,
+/// anything else writes one flat JSON object per line (JSONL).
+/// Record() is thread-safe (one mutex around buffered stdio — this is the
+/// episode boundary, not the step hot path).
+class EpisodeTelemetry {
+ public:
+  struct Options {
+    uint64_t max_rows_per_file = 100000;
+    int max_files = 4;  ///< active file + rotated siblings
+  };
+
+  explicit EpisodeTelemetry(std::string path);
+  EpisodeTelemetry(std::string path, Options options);
+  ~EpisodeTelemetry();
+
+  EpisodeTelemetry(const EpisodeTelemetry&) = delete;
+  EpisodeTelemetry& operator=(const EpisodeTelemetry&) = delete;
+
+  /// Appends one row. A row with an empty tag inherits the sink tag.
+  void Record(const EpisodeRow& row);
+
+  /// Default tag applied to rows recorded from now on; lets a driver mark
+  /// phase boundaries (train vs. generate) without threading a label
+  /// through the trainers.
+  void SetTag(std::string tag);
+
+  void Flush();
+
+  uint64_t rows_written() const;  ///< total rows across all files
+  int rotations() const;
+
+  const std::string& path() const { return path_; }
+  bool ok() const { return file_ != nullptr; }
+
+ private:
+  void OpenFreshLocked();
+  void RotateLocked();
+  std::string FormatRowLocked(const EpisodeRow& row) const;
+
+  const std::string path_;
+  const Options options_;
+  const bool csv_;
+
+  mutable std::mutex mu_;
+  FILE* file_ = nullptr;
+  uint64_t rows_in_file_ = 0;
+  uint64_t rows_total_ = 0;
+  int rotations_ = 0;
+  std::string tag_;
+};
+
+}  // namespace obs
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OBS_EPISODE_TELEMETRY_H_

@@ -1,0 +1,52 @@
+#ifndef LEARNEDSQLGEN_OBS_JSON_H_
+#define LEARNEDSQLGEN_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsg {
+namespace obs {
+
+/// Minimal JSON document model for the observability tooling: enough to
+/// read back the artifacts this subsystem writes (flat metric snapshots,
+/// JSONL episode rows, Chrome trace_event files) — not a general parser.
+/// Numbers are doubles; no \uXXXX escapes (our writers never emit them).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Member's number, or `fallback` when absent / not numeric.
+  double NumberOr(std::string_view key, double fallback) const;
+  /// Member's string, or `fallback` when absent / not a string.
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error).
+StatusOr<JsonValue> JsonParse(std::string_view text);
+
+/// Flattens a parsed object's top-level numeric members (bools count as
+/// 0/1). Non-numeric members are skipped. Error when `v` is not an object.
+StatusOr<std::map<std::string, double>> JsonFlatNumbers(const JsonValue& v);
+
+}  // namespace obs
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OBS_JSON_H_

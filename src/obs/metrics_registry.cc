@@ -1,0 +1,181 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+
+#include "common/string_util.h"
+
+namespace lsg {
+namespace obs {
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int top = 63 - std::countl_zero(value);  // >= kSubBucketBits
+  int sub = static_cast<int>((value >> (top - kSubBucketBits)) &
+                             (kSubBuckets - 1));
+  return (top - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  int top = index / kSubBuckets + kSubBucketBits - 1;
+  int sub = index & (kSubBuckets - 1);
+  return (static_cast<uint64_t>(kSubBuckets + sub)) << (top - kSubBucketBits);
+}
+
+HistogramStats Histogram::Snapshot() const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  int highest = -1;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+    if (counts[i] != 0) highest = i;
+  }
+  HistogramStats s;
+  s.count = total;
+  s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  if (total == 0) return s;
+  s.mean = s.sum / static_cast<double>(total);
+  // Bucket midpoint at each requested rank.
+  auto quantile = [&](double q) {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) {
+        double lo = static_cast<double>(BucketLowerBound(i));
+        double hi = i + 1 < kBuckets
+                        ? static_cast<double>(BucketLowerBound(i + 1))
+                        : lo * 2.0;
+        return (lo + hi) / 2.0;
+      }
+    }
+    return 0.0;  // unreachable
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  s.max = highest + 1 < kBuckets
+              ? static_cast<double>(BucketLowerBound(highest + 1))
+              : static_cast<double>(BucketLowerBound(highest)) * 2.0;
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->Snapshot();
+  }
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& [name, v] : counters) {
+    sep();
+    out += StrFormat("\"%s\": %llu", name.c_str(),
+                     static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    sep();
+    out += StrFormat("\"%s\": %.6g", name.c_str(), v);
+  }
+  for (const auto& [name, h] : histograms) {
+    sep();
+    out += StrFormat(
+        "\"%s.count\": %llu, \"%s.mean\": %.6g, \"%s.p50\": %.6g, "
+        "\"%s.p95\": %.6g, \"%s.p99\": %.6g, \"%s.max\": %.6g",
+        name.c_str(), static_cast<unsigned long long>(h.count), name.c_str(),
+        h.mean, name.c_str(), h.p50, name.c_str(), h.p95, name.c_str(), h.p99,
+        name.c_str(), h.max);
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    out += StrFormat("%-36s %16s\n", "counter/gauge", "value");
+    for (const auto& [name, v] : counters) {
+      out += StrFormat("%-36s %16llu\n", name.c_str(),
+                       static_cast<unsigned long long>(v));
+    }
+    for (const auto& [name, v] : gauges) {
+      out += StrFormat("%-36s %16.6g\n", name.c_str(), v);
+    }
+  }
+  if (!histograms.empty()) {
+    out += StrFormat("%-36s %10s %10s %10s %10s %10s\n", "histogram", "count",
+                     "mean", "p50", "p95", "p99");
+    for (const auto& [name, h] : histograms) {
+      out += StrFormat("%-36s %10llu %10.4g %10.4g %10.4g %10.4g\n",
+                       name.c_str(), static_cast<unsigned long long>(h.count),
+                       h.mean, h.p50, h.p95, h.p99);
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace lsg

@@ -1,0 +1,205 @@
+#ifndef LEARNEDSQLGEN_OBS_METRICS_REGISTRY_H_
+#define LEARNEDSQLGEN_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stopwatch.h"
+#include "obs/obs.h"
+
+namespace lsg {
+namespace obs {
+
+/// Write-side striping for counters: each thread is assigned one of
+/// kStripes cache-line-padded cells round-robin, so with up to kStripes
+/// concurrent threads every increment lands on a private line
+/// (shared-nothing); beyond that threads share stripes, which stays
+/// correct and merely re-introduces some contention. Reads sum the cells.
+inline constexpr int kCounterStripes = 32;
+
+struct alignas(64) StripeCell {
+  std::atomic<uint64_t> v{0};
+};
+
+/// Monotonic counter. Handles returned by MetricsRegistry are stable for
+/// the registry's lifetime; cache them in a function-local static at the
+/// instrumentation site.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    cells_[ThreadId() & (kCounterStripes - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  /// Sum over all stripes. Concurrent adds may or may not be included
+  /// (counters are independently monotonic; cross-counter exactness is not
+  /// required while writers run).
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const StripeCell& c : cells_) {
+      sum += c.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void Reset() {
+    for (StripeCell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  StripeCell cells_[kCounterStripes];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double x) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(x));
+    __builtin_memcpy(&bits, &x, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const {
+    uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double x;
+    __builtin_memcpy(&x, &bits, sizeof(x));
+    return x;
+  }
+  void Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Percentile summary of a histogram at snapshot time.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0;   ///< Σ recorded values (exact, not bucketed)
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;   ///< upper bound of the highest occupied bucket
+};
+
+/// Log-bucketed latency histogram: 8 sub-buckets per power of two
+/// (relative bucket width 2^(1/8) ≈ 9%), covering the full uint64 range —
+/// nanoseconds from 0 to ~584 years. Quantiles report the bucket midpoint,
+/// so the worst-case relative error vs. the exact quantile is about half a
+/// bucket (~4.5%, bounded by ~9%).
+///
+/// Buckets are plain shared atomics, not striped: histograms time
+/// operations that cost at least a microsecond (executor, estimator,
+/// queue waits), so one relaxed fetch_add is far below the noise floor.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = 8 + (64 - kSubBucketBits) * kSubBuckets;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bucket index of `value`: identity below 8, log-linear above.
+  static int BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `index`.
+  static uint64_t BucketLowerBound(int index);
+
+  HistogramStats Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// RAII nanosecond timer into a histogram; inert when constructed with
+/// nullptr (the disabled-observability fast path).
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* h)
+      : h_(h), start_ns_(h != nullptr ? Stopwatch::NowNanos() : 0) {}
+  ~ScopedHistogramTimer() {
+    if (h_ != nullptr) h_->Record(Stopwatch::NowNanos() - start_ns_);
+  }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_ns_;
+};
+
+/// Point-in-time aggregate of every metric in a registry. Flattened to one
+/// JSON object (`name` for counters/gauges, `name.p50` etc. for
+/// histograms) so two snapshots diff with plain key alignment
+/// (lsgtrace --diff).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  std::string ToJson() const;
+  /// Human-oriented aligned table (lsgtrace terminal summary).
+  std::string ToTable() const;
+};
+
+/// Named metrics, created on first Get. Naming scheme (see README):
+/// `<subsystem>.<noun>[_<unit>]`, unit suffix `_ns` for histograms of
+/// nanoseconds, `_micros` for accumulated integer microseconds.
+///
+/// Get* takes a mutex (cache the handle); the write paths of the returned
+/// handles are lock-free. Metrics are never removed, so handles stay valid
+/// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (keeps registrations). Not synchronized with
+  /// concurrent writers beyond per-cell atomicity; call between phases
+  /// (tests, lsgtrace section boundaries), not mid-workload.
+  void Reset();
+
+  /// The process-wide default registry: training, generation, executor,
+  /// estimator and FSM instrumentation all record here, so one snapshot
+  /// covers the whole feedback loop. Services default to a private
+  /// registry (per-instance isolation) but can be pointed here
+  /// (GenerationServiceOptions::metrics_registry) to join the namespace.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,47 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+
+namespace lsg {
+namespace obs {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  // Latched from the environment exactly once, on first query.
+  static std::atomic<bool> enabled = [] {
+    const char* v = std::getenv("LSG_OBS");
+    return v != nullptr && v[0] == '1';
+  }();
+  return enabled;
+}
+
+std::atomic<EpisodeTelemetry*>& SinkSlot() {
+  static std::atomic<EpisodeTelemetry*> sink{nullptr};
+  return sink;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+EpisodeTelemetry* EpisodeSink() {
+  return SinkSlot().load(std::memory_order_acquire);
+}
+
+void SetEpisodeSink(EpisodeTelemetry* sink) {
+  SinkSlot().store(sink, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace lsg

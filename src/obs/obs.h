@@ -1,0 +1,38 @@
+#ifndef LEARNEDSQLGEN_OBS_OBS_H_
+#define LEARNEDSQLGEN_OBS_OBS_H_
+
+#include <atomic>
+
+namespace lsg {
+namespace obs {
+
+class EpisodeTelemetry;
+
+/// Master switch for the *optional* observability layer (span tracing,
+/// latency histograms, episode telemetry). Compiled in everywhere but off
+/// by default; hot paths pay one relaxed atomic load + branch when
+/// disabled (<2% budget, see DESIGN.md §6e). Functional counters — the
+/// service's request/cache accounting — are always live and do not consult
+/// this flag.
+///
+/// The flag latches on from the environment (`LSG_OBS=1`) at first use;
+/// tools (lsgtrace) flip it explicitly.
+bool Enabled();
+void SetEnabled(bool on);
+
+/// Dense small id for the calling thread (0, 1, 2, ... in first-use
+/// order); used as the `tid` of trace events so Chrome's viewer groups
+/// spans per thread.
+int ThreadId();
+
+/// Process-wide episode-telemetry sink. Null (the default) means episode
+/// rows are dropped. The sink must outlive all recording threads; setting
+/// it is not synchronized against concurrent recorders, so install it
+/// before training/serving starts.
+EpisodeTelemetry* EpisodeSink();
+void SetEpisodeSink(EpisodeTelemetry* sink);
+
+}  // namespace obs
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OBS_OBS_H_

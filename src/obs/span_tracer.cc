@@ -1,0 +1,114 @@
+#include "obs/span_tracer.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace lsg {
+namespace obs {
+
+SpanTracer::SpanTracer(size_t capacity) {
+  capacity = std::bit_ceil(std::max<size_t>(capacity, 8));
+  slots_ = std::vector<Slot>(capacity);
+  mask_ = capacity - 1;
+}
+
+void SpanTracer::Record(const char* name, uint64_t start_ns,
+                        uint64_t duration_ns) {
+  const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[claim & mask_];
+  // Seqlock write: mark busy (odd), publish fields, mark complete (2·claim).
+  slot.state.store(2 * claim - 1, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.tid.store(static_cast<uint32_t>(ThreadId()), std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.state.store(2 * claim, std::memory_order_release);
+}
+
+std::vector<SpanTracer::Span> SpanTracer::Snapshot() const {
+  std::vector<Span> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    uint64_t s1 = slot.state.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+    Span span;
+    span.name = slot.name.load(std::memory_order_relaxed);
+    span.tid = static_cast<int>(slot.tid.load(std::memory_order_relaxed));
+    span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    span.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    uint64_t s2 = slot.state.load(std::memory_order_acquire);
+    if (s1 != s2) continue;  // overwritten while reading
+    span.seq = s1 / 2;
+    out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string SpanTracer::ChromeTraceJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i != 0) out += ",";
+    out += StrFormat(
+        "\n{\"name\": \"%s\", \"cat\": \"lsg\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+        s.name, static_cast<double>(s.start_ns) / 1e3,
+        static_cast<double>(s.duration_ns) / 1e3, s.tid);
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string SpanTracer::TextDump(size_t max_rows) const {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const Span& s : Snapshot()) {
+    Agg& a = by_name[s.name];
+    a.count += 1;
+    a.total_ns += s.duration_ns;
+    a.max_ns = std::max(a.max_ns, s.duration_ns);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  if (rows.size() > max_rows) rows.resize(max_rows);
+  std::string out = StrFormat("%-28s %10s %12s %12s %12s\n", "span", "count",
+                              "total_ms", "mean_us", "max_us");
+  for (const auto& [name, a] : rows) {
+    out += StrFormat(
+        "%-28s %10llu %12.3f %12.2f %12.2f\n", name.c_str(),
+        static_cast<unsigned long long>(a.count),
+        static_cast<double>(a.total_ns) / 1e6,
+        static_cast<double>(a.total_ns) / 1e3 / static_cast<double>(a.count),
+        static_cast<double>(a.max_ns) / 1e3);
+  }
+  return out;
+}
+
+void SpanTracer::Clear() {
+  for (Slot& slot : slots_) slot.state.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_relaxed);
+}
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer* tracer = new SpanTracer();
+  return *tracer;
+}
+
+}  // namespace obs
+}  // namespace lsg

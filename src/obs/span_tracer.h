@@ -1,0 +1,127 @@
+#ifndef LEARNEDSQLGEN_OBS_SPAN_TRACER_H_
+#define LEARNEDSQLGEN_OBS_SPAN_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/obs.h"
+
+namespace lsg {
+namespace obs {
+
+/// Bounded lock-free span sink: writers claim a monotonically increasing
+/// sequence number and overwrite `seq mod capacity`, so the buffer always
+/// holds the most recent ~capacity spans and overflow silently drops the
+/// oldest. Every slot field is an atomic guarded by a per-slot seqlock
+/// (odd = being written), which keeps concurrent snapshot reads free of
+/// torn records and data races (TSan-clean) without any mutex on the
+/// record path.
+///
+/// Span names must be pointers with static storage duration (string
+/// literals at the instrumentation site) — the tracer stores the pointer,
+/// not a copy.
+class SpanTracer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit SpanTracer(size_t capacity = 1 << 16);
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Records one completed span. `start_ns` is a Stopwatch::NowNanos()
+  /// timestamp; lock-free and safe from any thread.
+  void Record(const char* name, uint64_t start_ns, uint64_t duration_ns);
+
+  struct Span {
+    const char* name = nullptr;
+    int tid = 0;
+    uint64_t seq = 0;  ///< 1-based claim order (global across threads)
+    uint64_t start_ns = 0;
+    uint64_t duration_ns = 0;
+  };
+
+  /// Consistent copy of the retained spans, oldest first. Slots mid-write
+  /// at snapshot time are skipped.
+  std::vector<Span> Snapshot() const;
+
+  /// Total spans ever recorded (retained + dropped).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Chrome `trace_event` JSON (load via chrome://tracing or Perfetto):
+  /// one complete ("ph":"X") event per span, microsecond timestamps,
+  /// grouped by recording thread. Nesting is inferred by the viewer from
+  /// timestamp containment within a tid.
+  std::string ChromeTraceJson() const;
+
+  /// Compact text dump: per-name aggregate (count, total, mean, max),
+  /// heaviest first, at most `max_rows` rows.
+  std::string TextDump(size_t max_rows = 32) const;
+
+  /// Discards all retained spans and resets the sequence. Not synchronized
+  /// with concurrent writers; call between phases.
+  void Clear();
+
+  /// Process-wide tracer used by the LSG_OBS_SPAN instrumentation macro.
+  static SpanTracer& Global();
+
+ private:
+  struct Slot {
+    /// Seqlock word: 0 empty, odd = write in progress, else 2·claim.
+    std::atomic<uint64_t> state{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint32_t> tid{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> duration_ns{0};
+  };
+
+  std::vector<Slot> slots_;
+  size_t mask_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// RAII span: times its scope and records into the tracer on destruction.
+/// Constructed with nullptr it is fully inert (one branch) — the
+/// LSG_OBS_SPAN macro resolves the tracer only when obs::Enabled().
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, const char* name)
+      : tracer_(tracer),
+        name_(name),
+        start_ns_(tracer != nullptr ? Stopwatch::NowNanos() : 0) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, start_ns_, Stopwatch::NowNanos() - start_ns_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+#define LSG_OBS_CONCAT_INNER(a, b) a##b
+#define LSG_OBS_CONCAT(a, b) LSG_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into the global tracer when observability is
+/// enabled; one relaxed load + branch when disabled. `name` must be a
+/// string literal.
+#define LSG_OBS_SPAN(name)                                      \
+  ::lsg::obs::ScopedSpan LSG_OBS_CONCAT(lsg_obs_span_, __LINE__)( \
+      ::lsg::obs::Enabled() ? &::lsg::obs::SpanTracer::Global() : nullptr, \
+      name)
+
+}  // namespace obs
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OBS_SPAN_TRACER_H_

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "exec/expression.h"
+#include "obs/metrics_registry.h"
 
 namespace lsg {
 
@@ -205,6 +206,10 @@ double CardinalityEstimator::EstimateSelect(const SelectQuery& q,
 }
 
 double CardinalityEstimator::EstimateCardinality(const QueryAst& ast) const {
+  obs::ScopedHistogramTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("opt.estimate_ns")
+          : nullptr);
   switch (ast.type) {
     case QueryType::kSelect:
       if (ast.select == nullptr) return 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace lsg {
 
@@ -51,6 +52,10 @@ double CostModel::SelectCost(const SelectQuery& q) const {
 }
 
 double CostModel::EstimateCost(const QueryAst& ast) const {
+  obs::ScopedHistogramTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("opt.cost_ns")
+          : nullptr);
   const CostConstants& c = constants_;
   switch (ast.type) {
     case QueryType::kSelect:

@@ -1,6 +1,8 @@
 #include "rl/actor_critic_trainer.h"
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
 
 namespace lsg {
 
@@ -54,6 +56,7 @@ StatusOr<Trajectory> ActorCriticTrainer::RolloutWithCritic(
 }
 
 StatusOr<EpochStats> ActorCriticTrainer::TrainEpoch() {
+  LSG_OBS_SPAN("rl.ac_epoch");
   EpochStats stats;
   std::vector<PolicyNetwork::Episode> actor_eps(options_.batch_size);
   std::vector<ValueNetwork::Episode> critic_eps(options_.batch_size);
@@ -84,14 +87,17 @@ StatusOr<EpochStats> ActorCriticTrainer::TrainEpoch() {
     stats.satisfied_frac += traj->satisfied ? 1.0 : 0.0;
   }
   if (options_.normalize_advantages) NormalizeAdvantages(&advantages);
-  for (int b = 0; b < options_.batch_size; ++b) {
-    actor_->AccumulateGradients(actor_eps[b], advantages[b],
-                                options_.entropy_coef);
+  {
+    LSG_OBS_SPAN("rl.ac_update");
+    for (int b = 0; b < options_.batch_size; ++b) {
+      actor_->AccumulateGradients(actor_eps[b], advantages[b],
+                                  options_.entropy_coef);
+    }
+    ClipGradNorm(actor_->Params(), options_.grad_clip);
+    ClipGradNorm(critic_->Params(), options_.grad_clip);
+    actor_opt_->Step();
+    critic_opt_->Step();
   }
-  ClipGradNorm(actor_->Params(), options_.grad_clip);
-  ClipGradNorm(critic_->Params(), options_.grad_clip);
-  actor_opt_->Step();
-  critic_opt_->Step();
   const double n = static_cast<double>(stats.episodes);
   stats.mean_total_reward /= n;
   stats.mean_final_reward /= n;
@@ -103,6 +109,16 @@ StatusOr<EpochStats> ActorCriticTrainer::TrainEpoch() {
       best_score_ = score;
       best_actor_.Save(actor_->Params());
     }
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    static obs::Counter& epochs = reg.GetCounter("rl.epochs");
+    static obs::Counter& episodes = reg.GetCounter("rl.episodes");
+    epochs.Inc();
+    episodes.Add(static_cast<uint64_t>(stats.episodes));
+    reg.GetGauge("rl.mean_total_reward").Set(stats.mean_total_reward);
+    reg.GetGauge("rl.satisfied_frac").Set(stats.satisfied_frac);
+    reg.GetGauge("rl.mean_entropy").Set(stats.mean_entropy);
   }
   return stats;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
 
 namespace lsg {
 
@@ -71,6 +73,7 @@ ReinforceTrainer::ReinforceTrainer(Environment* env,
 }
 
 StatusOr<EpochStats> ReinforceTrainer::TrainEpoch() {
+  LSG_OBS_SPAN("rl.reinforce_epoch");
   EpochStats stats;
   std::vector<PolicyNetwork::Episode> episodes(options_.batch_size);
   std::vector<std::vector<double>> advantages(options_.batch_size);
@@ -87,12 +90,15 @@ StatusOr<EpochStats> ReinforceTrainer::TrainEpoch() {
     stats.satisfied_frac += traj->satisfied ? 1.0 : 0.0;
   }
   if (options_.normalize_advantages) NormalizeAdvantages(&advantages);
-  for (int b = 0; b < options_.batch_size; ++b) {
-    actor_->AccumulateGradients(episodes[b], advantages[b],
-                                options_.entropy_coef);
+  {
+    LSG_OBS_SPAN("rl.reinforce_update");
+    for (int b = 0; b < options_.batch_size; ++b) {
+      actor_->AccumulateGradients(episodes[b], advantages[b],
+                                  options_.entropy_coef);
+    }
+    ClipGradNorm(actor_->Params(), options_.grad_clip);
+    actor_opt_->Step();
   }
-  ClipGradNorm(actor_->Params(), options_.grad_clip);
-  actor_opt_->Step();
   const double n = static_cast<double>(stats.episodes);
   stats.mean_total_reward /= n;
   stats.mean_final_reward /= n;
@@ -104,6 +110,16 @@ StatusOr<EpochStats> ReinforceTrainer::TrainEpoch() {
       best_score_ = score;
       best_actor_.Save(actor_->Params());
     }
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    static obs::Counter& epochs = reg.GetCounter("rl.epochs");
+    static obs::Counter& episodes = reg.GetCounter("rl.episodes");
+    epochs.Inc();
+    episodes.Add(static_cast<uint64_t>(stats.episodes));
+    reg.GetGauge("rl.mean_total_reward").Set(stats.mean_total_reward);
+    reg.GetGauge("rl.satisfied_frac").Set(stats.satisfied_frac);
+    reg.GetGauge("rl.mean_entropy").Set(stats.mean_entropy);
   }
   return stats;
 }

@@ -4,12 +4,14 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/span_tracer.h"
 
 namespace lsg {
 
 GenerationService::GenerationService(const Database* db,
                                      const GenerationServiceOptions& options)
     : options_(options),
+      metrics_(options.metrics_registry),
       registry_(db, options.gen, options.registry, &metrics_),
       queue_(options.queue_capacity) {}
 
@@ -45,13 +47,13 @@ std::future<GenerationResponse> GenerationService::RejectedFuture(
 
 std::future<GenerationResponse> GenerationService::Submit(
     GenerationRequest request) {
-  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.requests_submitted.Inc();
   Job job;
   job.request = std::move(request);
   uint64_t id = job.request.id;
   std::future<GenerationResponse> future = job.promise.get_future();
   if (!queue_.Push(std::move(job))) {
-    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.requests_rejected.Inc();
     return RejectedFuture(
         id, Status::FailedPrecondition("service is shut down"));
   }
@@ -60,12 +62,12 @@ std::future<GenerationResponse> GenerationService::Submit(
 
 StatusOr<std::future<GenerationResponse>> GenerationService::TrySubmit(
     GenerationRequest request) {
-  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.requests_submitted.Inc();
   Job job;
   job.request = std::move(request);
   std::future<GenerationResponse> future = job.promise.get_future();
   if (!queue_.TryPush(std::move(job))) {
-    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.requests_rejected.Inc();
     return Status::FailedPrecondition(
         queue_.closed() ? "service is shut down" : "request queue is full");
   }
@@ -102,11 +104,18 @@ void GenerationService::WorkerLoop(int worker_index) {
     response.worker = worker_index;
     response.queue_seconds = job->queued.ElapsedSeconds();
     metrics_.AddQueueSeconds(response.queue_seconds);
-    response.status = Handle(job->request, &rng, &response);
+    metrics_.queue_wait_ns.Record(job->queued.ElapsedNanos());
+    {
+      LSG_OBS_SPAN("service.handle");
+      obs::ScopedHistogramTimer handle_timer(&metrics_.handle_ns);
+      Stopwatch busy;
+      response.status = Handle(job->request, &rng, &response);
+      metrics_.AddBusySeconds(busy.ElapsedSeconds());
+    }
     if (response.status.ok()) {
-      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.requests_completed.Inc();
     } else {
-      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.requests_failed.Inc();
     }
     job->promise.set_value(std::move(response));
   }
@@ -136,12 +145,9 @@ Status GenerationService::Handle(const GenerationRequest& request, Rng* rng,
   if (!report.ok()) return report.status();
   response->generate_seconds = report->generate_seconds;
   metrics_.AddGenerateSeconds(report->generate_seconds);
-  metrics_.attempts.fetch_add(static_cast<uint64_t>(report->attempts),
-                              std::memory_order_relaxed);
-  metrics_.queries_generated.fetch_add(report->queries.size(),
-                                       std::memory_order_relaxed);
-  metrics_.queries_satisfied.fetch_add(
-      static_cast<uint64_t>(report->satisfied), std::memory_order_relaxed);
+  metrics_.attempts.Add(static_cast<uint64_t>(report->attempts));
+  metrics_.queries_generated.Add(report->queries.size());
+  metrics_.queries_satisfied.Add(static_cast<uint64_t>(report->satisfied));
   response->report = std::move(*report);
   return Status::Ok();
 }

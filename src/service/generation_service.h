@@ -47,6 +47,11 @@ struct GenerationServiceOptions {
   /// with fixed seeds and fixed request order are reproducible at
   /// concurrency 1.
   LearnedSqlGenOptions gen;
+  /// Registry backing the service counters. Defaults to a private one
+  /// (per-service isolation); pass &obs::MetricsRegistry::Global() to
+  /// publish the `service.` namespace alongside the training metrics
+  /// (lsgtrace does this). Must outlive the service when non-null.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 /// Multi-tenant front end over LearnedSqlGen: a fixed worker pool drains a

@@ -46,7 +46,7 @@ StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
       slot.entry = std::make_shared<ModelEntry>();
       slot.entry->constraint = c;
       creator = true;
-      metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+      metrics_->cache_misses.Inc();
     }
     slot.last_used = ++lru_clock_;
     entry = slot.entry;
@@ -56,11 +56,11 @@ StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
   if (!creator) {
     std::unique_lock<std::mutex> el(entry->mu);
     if (!entry->ready) {
-      metrics_->dedup_waits.fetch_add(1, std::memory_order_relaxed);
+      metrics_->dedup_waits.Inc();
       entry->ready_cv.wait(el, [&] { return entry->ready; });
     }
     if (!entry->status.ok()) return entry->status;
-    metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    metrics_->cache_hits.Inc();
     Acquired out;
     out.entry = std::move(entry);
     out.cache_hit = true;
@@ -109,7 +109,7 @@ void ModelRegistry::BuildEntry(const ConstraintKey& key, ModelEntry* entry,
       status = entry->gen->LoadModel(entry->constraint, spill);
       if (status.ok()) {
         *warm_start = true;
-        metrics_->disk_warm_starts.fetch_add(1, std::memory_order_relaxed);
+        metrics_->disk_warm_starts.Inc();
       } else {
         LSG_LOG(Warning) << "warm-start from " << spill << " failed ("
                          << status.ToString() << "); retraining";
@@ -118,7 +118,7 @@ void ModelRegistry::BuildEntry(const ConstraintKey& key, ModelEntry* entry,
     if (!*warm_start) {
       status = entry->gen->Train(entry->constraint);
       if (status.ok()) {
-        metrics_->trainings.fetch_add(1, std::memory_order_relaxed);
+        metrics_->trainings.Inc();
         metrics_->AddTrainSeconds(entry->gen->last_train_seconds());
       }
     }
@@ -160,7 +160,7 @@ void ModelRegistry::EvictIfNeeded() {
       }
     }
     models_.erase(victim);
-    metrics_->evictions.fetch_add(1, std::memory_order_relaxed);
+    metrics_->evictions.Inc();
   }
 }
 

@@ -1,9 +1,11 @@
 #ifndef LEARNEDSQLGEN_SERVICE_SERVICE_METRICS_H_
 #define LEARNEDSQLGEN_SERVICE_SERVICE_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/metrics_registry.h"
 
 namespace lsg {
 
@@ -32,6 +34,7 @@ struct ServiceMetricsSnapshot {
   double train_seconds = 0.0;
   double generate_seconds = 0.0;
   double queue_seconds = 0.0;  ///< summed request time spent queued
+  double busy_seconds = 0.0;   ///< summed worker handle time (utilization)
 
   double cache_hit_rate() const {
     uint64_t total = cache_hits + cache_misses;
@@ -49,41 +52,67 @@ struct ServiceMetricsSnapshot {
   std::string ToJson() const;
 };
 
-/// Lock-free counter set shared by the queue, registry and workers. All
-/// members are monotonically increasing; Snapshot() reads them with relaxed
-/// ordering (counters are independent, exactness across counters is not
-/// required while the service runs).
+/// The service's counter set, shared by the queue, registry and workers.
+/// A thin view over an obs::MetricsRegistry: every counter lives in the
+/// registry under the `service.` namespace (the same naming scheme the
+/// training-side instrumentation uses), and the members here are just
+/// cached handles, so serving metrics show up in registry snapshots
+/// (lsgtrace) with no duplicated atomic plumbing.
+///
+/// By default each ServiceMetrics owns a private registry (per-service
+/// isolation for tests and embedded services); pass an external registry —
+/// e.g. &obs::MetricsRegistry::Global() — to join a shared namespace.
 class ServiceMetrics {
+ private:
+  // Declared (and therefore initialized) before the handle references
+  // below, which bind into *registry_.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+
  public:
-  void AddTrainSeconds(double s) { train_micros_ += Micros(s); }
-  void AddGenerateSeconds(double s) { generate_micros_ += Micros(s); }
-  void AddQueueSeconds(double s) { queue_micros_ += Micros(s); }
+  explicit ServiceMetrics(obs::MetricsRegistry* registry = nullptr);
+
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  void AddTrainSeconds(double s) { train_micros.Add(Micros(s)); }
+  void AddGenerateSeconds(double s) { generate_micros.Add(Micros(s)); }
+  void AddQueueSeconds(double s) { queue_micros.Add(Micros(s)); }
+  void AddBusySeconds(double s) { busy_micros.Add(Micros(s)); }
 
   ServiceMetricsSnapshot Snapshot() const;
 
-  std::atomic<uint64_t> requests_submitted{0};
-  std::atomic<uint64_t> requests_rejected{0};
-  std::atomic<uint64_t> requests_completed{0};
-  std::atomic<uint64_t> requests_failed{0};
-  std::atomic<uint64_t> cache_hits{0};
-  std::atomic<uint64_t> cache_misses{0};
-  std::atomic<uint64_t> trainings{0};
-  std::atomic<uint64_t> disk_warm_starts{0};
-  std::atomic<uint64_t> evictions{0};
-  std::atomic<uint64_t> dedup_waits{0};
-  std::atomic<uint64_t> queue_depth_high_water{0};
-  std::atomic<uint64_t> attempts{0};
-  std::atomic<uint64_t> queries_generated{0};
-  std::atomic<uint64_t> queries_satisfied{0};
+  /// The registry the handles point into (for snapshots of the full
+  /// namespace, including the latency histograms below).
+  obs::MetricsRegistry& registry() { return *registry_; }
+
+  obs::Counter& requests_submitted;
+  obs::Counter& requests_rejected;
+  obs::Counter& requests_completed;
+  obs::Counter& requests_failed;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& trainings;
+  obs::Counter& disk_warm_starts;
+  obs::Counter& evictions;
+  obs::Counter& dedup_waits;
+  obs::Counter& attempts;
+  obs::Counter& queries_generated;
+  obs::Counter& queries_satisfied;
+  obs::Counter& train_micros;
+  obs::Counter& generate_micros;
+  obs::Counter& queue_micros;
+  obs::Counter& busy_micros;
+
+  /// Request-level latency distributions (always recorded: these events
+  /// are per-request, far off the step hot path).
+  obs::Histogram& queue_wait_ns;
+  obs::Histogram& handle_ns;
 
  private:
   static uint64_t Micros(double seconds) {
     return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e6);
   }
-
-  std::atomic<uint64_t> train_micros_{0};
-  std::atomic<uint64_t> generate_micros_{0};
-  std::atomic<uint64_t> queue_micros_{0};
 };
 
 }  // namespace lsg

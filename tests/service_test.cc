@@ -134,7 +134,7 @@ TEST_F(RegistryTest, SecondRequestForSameBucketIsAHitWithoutRetraining) {
   auto first = registry.Acquire(CardRange(5, 50), /*train_seed=*/1);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_FALSE(first->cache_hit);
-  EXPECT_EQ(metrics_.trainings.load(), 1u);
+  EXPECT_EQ(metrics_.trainings.Value(), 1u);
 
   // Same bucket (slightly different numbers): served from cache, and the
   // train-count metric proves no retraining happened.
@@ -142,9 +142,9 @@ TEST_F(RegistryTest, SecondRequestForSameBucketIsAHitWithoutRetraining) {
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->cache_hit);
   EXPECT_EQ(second->entry.get(), first->entry.get());
-  EXPECT_EQ(metrics_.trainings.load(), 1u);
-  EXPECT_EQ(metrics_.cache_hits.load(), 1u);
-  EXPECT_EQ(metrics_.cache_misses.load(), 1u);
+  EXPECT_EQ(metrics_.trainings.Value(), 1u);
+  EXPECT_EQ(metrics_.cache_hits.Value(), 1u);
+  EXPECT_EQ(metrics_.cache_misses.Value(), 1u);
 }
 
 TEST_F(RegistryTest, ConcurrentRequestsForOneBucketTrainOnce) {
@@ -167,9 +167,9 @@ TEST_F(RegistryTest, ConcurrentRequestsForOneBucketTrainOnce) {
   // Two threads, one bucket, one training run — dedup'ed via the shared
   // entry; everyone still gets a usable model.
   EXPECT_EQ(ok_count.load(), kThreads);
-  EXPECT_EQ(metrics_.trainings.load(), 1u);
-  EXPECT_EQ(metrics_.cache_misses.load(), 1u);
-  EXPECT_EQ(metrics_.cache_hits.load(),
+  EXPECT_EQ(metrics_.trainings.Value(), 1u);
+  EXPECT_EQ(metrics_.cache_misses.Value(), 1u);
+  EXPECT_EQ(metrics_.cache_hits.Value(),
             static_cast<uint64_t>(kThreads - 1));
   EXPECT_EQ(registry.size(), 1u);
 }
@@ -184,12 +184,12 @@ TEST_F(RegistryTest, EvictedModelWarmStartsFromDisk) {
   const Constraint b = CardPoint(10);
 
   ASSERT_TRUE(registry.Acquire(a, 1).ok());
-  EXPECT_EQ(metrics_.trainings.load(), 1u);
+  EXPECT_EQ(metrics_.trainings.Value(), 1u);
 
   // B overflows the single-model cache: A is spilled to disk and evicted.
   ASSERT_TRUE(registry.Acquire(b, 2).ok());
-  EXPECT_EQ(metrics_.trainings.load(), 2u);
-  EXPECT_EQ(metrics_.evictions.load(), 1u);
+  EXPECT_EQ(metrics_.trainings.Value(), 2u);
+  EXPECT_EQ(metrics_.evictions.Value(), 1u);
   EXPECT_EQ(registry.size(), 1u);
   ASSERT_TRUE(std::filesystem::exists(registry.SpillPathFor(a)));
 
@@ -198,8 +198,8 @@ TEST_F(RegistryTest, EvictedModelWarmStartsFromDisk) {
   auto again = registry.Acquire(a, 3);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_TRUE(again->warm_start);
-  EXPECT_EQ(metrics_.trainings.load(), 2u);  // no third training
-  EXPECT_EQ(metrics_.disk_warm_starts.load(), 1u);
+  EXPECT_EQ(metrics_.trainings.Value(), 2u);  // no third training
+  EXPECT_EQ(metrics_.disk_warm_starts.Value(), 1u);
   {
     std::lock_guard<std::mutex> lock(again->entry->mu);
     auto report = again->entry->gen->GenerateBatch(3);
@@ -215,11 +215,11 @@ TEST_F(RegistryTest, EvictionWithoutSpillDirDiscards) {
   ModelRegistry registry(&db_, FastOptions(), ro, &metrics_);
   ASSERT_TRUE(registry.Acquire(CardRange(5, 50), 1).ok());
   ASSERT_TRUE(registry.Acquire(CardPoint(10), 2).ok());
-  EXPECT_EQ(metrics_.evictions.load(), 1u);
+  EXPECT_EQ(metrics_.evictions.Value(), 1u);
   // Re-request retrains (nothing on disk to warm-start from).
   ASSERT_TRUE(registry.Acquire(CardRange(5, 50), 3).ok());
-  EXPECT_EQ(metrics_.trainings.load(), 3u);
-  EXPECT_EQ(metrics_.disk_warm_starts.load(), 0u);
+  EXPECT_EQ(metrics_.trainings.Value(), 3u);
+  EXPECT_EQ(metrics_.disk_warm_starts.Value(), 0u);
 }
 
 // ----------------------------------------------------- GenerationService
