@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include "core/environment.h"
 #include "core/workload.h"
 #include "datasets/tpch_like.h"
 #include "exec/executor.h"
+#include "fuzz/trace.h"
 #include "nn/lstm.h"
 #include "optimizer/cost_model.h"
+#include "optimizer/feedback_cache.h"
 #include "rl/policy_network.h"
 
 namespace lsg {
@@ -133,6 +136,153 @@ void BM_CostEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostEstimate);
+
+// --- feedback plumbing: cache + incremental prefix estimates ------------
+//
+// The three BM_EnvEpisode* variants replay the same recorded episodes
+// (a repeated-constraint workload: identical queries recur across
+// iterations) through a SqlGenEnvironment, isolating how the per-step
+// feedback is computed:
+//   FullEstimates        every step re-walks the whole AST
+//   CachedEstimates      AST-fingerprint cache in front of the full walk
+//   IncrementalEstimates O(1) running prefix state (the default)
+
+const std::vector<std::vector<int>>& RecordedEpisodes() {
+  static const std::vector<std::vector<int>>* kEpisodes = [] {
+    MicroFixture& f = Fixture();
+    auto* eps = new std::vector<std::vector<int>>;
+    // Full profile: joins, subqueries and wide WHERE clauses, where the
+    // full re-walk is at its most expensive.
+    GenerationFsm fsm(&f.db, &*f.vocab, QueryProfile::Full());
+    for (int i = 0; i < 32; ++i) {
+      Rng rng(1000 + i);
+      std::vector<int> actions;
+      fsm.Reset();
+      LSG_CHECK(RecordedRandomWalk(&fsm, &rng, &actions).ok());
+      eps->push_back(std::move(actions));
+    }
+    return eps;
+  }();
+  return *kEpisodes;
+}
+
+void EnvEpisodeBench(benchmark::State& state, bool incremental, bool cached) {
+  MicroFixture& f = Fixture();
+  const auto& episodes = RecordedEpisodes();
+  FeedbackCache cache;
+  EnvironmentOptions eo;
+  eo.profile = QueryProfile::Full();  // matches RecordedEpisodes()
+  eo.incremental_prefix_estimates = incremental;
+  eo.feedback_cache = cached ? &cache : nullptr;
+  SqlGenEnvironment env(&f.db, &*f.vocab, f.est.get(), f.cost.get(),
+                        Constraint::Range(ConstraintMetric::kCardinality, 5,
+                                          1000000),
+                        eo);
+  size_t i = 0;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    const std::vector<int>& actions = episodes[i++ % episodes.size()];
+    env.Reset();
+    for (int a : actions) {
+      auto r = env.Step(a);
+      LSG_CHECK(r.ok());
+      benchmark::DoNotOptimize(r->metric);
+      ++steps;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+
+void BM_EnvEpisodeFullEstimates(benchmark::State& state) {
+  EnvEpisodeBench(state, /*incremental=*/false, /*cached=*/false);
+}
+BENCHMARK(BM_EnvEpisodeFullEstimates);
+
+void BM_EnvEpisodeCachedEstimates(benchmark::State& state) {
+  EnvEpisodeBench(state, /*incremental=*/false, /*cached=*/true);
+}
+BENCHMARK(BM_EnvEpisodeCachedEstimates);
+
+void BM_EnvEpisodeIncrementalEstimates(benchmark::State& state) {
+  EnvEpisodeBench(state, /*incremental=*/true, /*cached=*/false);
+}
+BENCHMARK(BM_EnvEpisodeIncrementalEstimates);
+
+// The feedback computation alone (no FSM / policy overhead) on the same
+// repeated workload: what MetricOf costs without and with the cache.
+
+const std::vector<QueryAst>& RecordedAsts() {
+  static const std::vector<QueryAst>* kAsts = [] {
+    MicroFixture& f = Fixture();
+    auto* asts = new std::vector<QueryAst>;
+    GenerationFsm fsm(&f.db, &*f.vocab, QueryProfile::Full());
+    for (const std::vector<int>& actions : RecordedEpisodes()) {
+      fsm.Reset();
+      auto ast = ReplayActions(&fsm, actions, nullptr);
+      LSG_CHECK(ast.ok());
+      asts->push_back(std::move(ast).value());
+    }
+    return asts;
+  }();
+  return *kAsts;
+}
+
+void BM_FeedbackRepeatedFull(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const auto& asts = RecordedAsts();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.est->EstimateCardinality(asts[i++ % asts.size()]));
+  }
+}
+BENCHMARK(BM_FeedbackRepeatedFull);
+
+void BM_FeedbackRepeatedCached(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const auto& asts = RecordedAsts();
+  FeedbackCache cache;
+  size_t i = 0;
+  for (auto _ : state) {
+    const QueryAst& ast = asts[i++ % asts.size()];
+    uint64_t key = cache.Key(ast, FeedbackKind::kCardinality);
+    std::optional<double> hit = cache.Lookup(key);
+    if (!hit.has_value()) {
+      hit = f.est->EstimateCardinality(ast);
+      cache.Insert(key, *hit);
+    }
+    benchmark::DoNotOptimize(*hit);
+  }
+}
+BENCHMARK(BM_FeedbackRepeatedCached);
+
+// Raw cache path: fingerprint + lookup of a warm entry. Compare against
+// BM_CardinalityEstimate (the full walk a hit avoids).
+void BM_FeedbackCacheHit(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>();
+  int li = f.db.catalog().FindTable("lineitem");
+  ast.select->tables = {li, f.db.catalog().FindTable("orders")};
+  ast.select->items.push_back({AggFunc::kNone, {li, 0}});
+  Predicate p;
+  p.column = {li, 4};
+  p.op = CompareOp::kLt;
+  p.value = Value(int64_t{25});
+  ast.select->where.predicates.push_back(std::move(p));
+
+  FeedbackCache cache;
+  cache.Insert(cache.Key(ast, FeedbackKind::kCardinality),
+               f.est->EstimateCardinality(ast));
+  for (auto _ : state) {
+    uint64_t key = cache.Key(ast, FeedbackKind::kCardinality);
+    auto hit = cache.Lookup(key);
+    LSG_CHECK(hit.has_value());
+    benchmark::DoNotOptimize(*hit);
+  }
+}
+BENCHMARK(BM_FeedbackCacheHit);
 
 void BM_LstmStepOneHot(benchmark::State& state) {
   MicroFixture& f = Fixture();

@@ -55,6 +55,9 @@ void RunAtConcurrency(const Database* db,
   opts.gen.train_epochs = epochs;
   opts.gen.trainer.batch_size = 8;
   opts.gen.seed = 20220612;
+  // All workers share one estimate memo, as lsgserve wires it in prod.
+  FeedbackCache feedback_cache;
+  opts.feedback_cache = &feedback_cache;
 
   auto service = GenerationService::Create(db, opts);
   LSG_CHECK(service.ok()) << service.status().ToString();

@@ -1,5 +1,7 @@
 #include "core/environment.h"
 
+#include <cstdlib>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/episode_telemetry.h"
@@ -22,20 +24,25 @@ SqlGenEnvironment::SqlGenEnvironment(const Database* db,
       options_(options),
       fsm_(db, vocab, options.profile),
       executor_(db),
+      prefix_est_(estimator, cost_model),
       constraint_str_(constraint.ToString()) {
   LSG_CHECK(estimator != nullptr && cost_model != nullptr);
+  const char* check = std::getenv("LSG_CHECK_INCREMENTAL");
+  check_incremental_ = check != nullptr && check[0] == '1';
 }
 
 void SqlGenEnvironment::Reset() {
   fsm_.Reset();
-  if (obs::Enabled()) {
-    ep_reward_sum_ = 0.0;
-    ep_steps_ = 0;
-    ep_mask_width_sum_ = 0;
-    ep_mask_evals_ = 0;
-    ep_feedback_calls_at_reset_ = feedback_calls_;
-    ep_start_ns_ = Stopwatch::NowNanos();
-  }
+  prefix_est_.Reset();
+  // Telemetry accumulators reset unconditionally: they are cheap, and
+  // gating on obs::Enabled() here meant that enabling LSG_OBS mid-run left
+  // the first recorded row with a stale feedback baseline and start time.
+  ep_reward_sum_ = 0.0;
+  ep_steps_ = 0;
+  ep_mask_width_sum_ = 0;
+  ep_mask_evals_ = 0;
+  ep_feedback_calls_at_reset_ = feedback_calls_;
+  ep_start_ns_ = Stopwatch::NowNanos();
 }
 
 const std::vector<uint8_t>& SqlGenEnvironment::ValidActions() {
@@ -69,10 +76,46 @@ double SqlGenEnvironment::MetricOf(const QueryAst& ast) const {
     // priced by measurement).
     return cost_model_->EstimateCost(ast);
   }
-  if (reward_.constraint().metric == ConstraintMetric::kCardinality) {
-    return estimator_->EstimateCardinality(ast);
+  const bool card =
+      reward_.constraint().metric == ConstraintMetric::kCardinality;
+  if (FeedbackCache* cache = options_.feedback_cache) {
+    const uint64_t key = cache->Key(
+        ast, card ? FeedbackKind::kCardinality : FeedbackKind::kCost);
+    if (std::optional<double> hit = cache->Lookup(key)) return *hit;
+    double m = card ? estimator_->EstimateCardinality(ast)
+                    : cost_model_->EstimateCost(ast);
+    cache->Insert(key, m);
+    return m;
   }
+  if (card) return estimator_->EstimateCardinality(ast);
   return cost_model_->EstimateCost(ast);
+}
+
+double SqlGenEnvironment::StepMetric() {
+  const QueryAst& ast = fsm_.builder().ast();
+  if (options_.feedback != FeedbackSource::kEstimator ||
+      !options_.incremental_prefix_estimates ||
+      ast.type != QueryType::kSelect || ast.select == nullptr) {
+    return MetricOf(ast);
+  }
+  // Incremental path: the running per-episode state makes this O(1) in the
+  // query size, so it skips the cache (a hit would not be cheaper).
+  ++feedback_calls_;
+  obs::ScopedHistogramTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("env.feedback_ns")
+          : nullptr);
+  const bool card =
+      reward_.constraint().metric == ConstraintMetric::kCardinality;
+  double m = card ? prefix_est_.Cardinality(*ast.select)
+                  : prefix_est_.Cost(*ast.select);
+  if (check_incremental_) {
+    double full = card ? estimator_->EstimateCardinality(ast)
+                       : cost_model_->EstimateCost(ast);
+    LSG_CHECK(m == full) << "incremental prefix estimate diverged from the "
+                         << "full walk: " << m << " vs " << full;
+  }
+  return m;
 }
 
 void SqlGenEnvironment::RecordEpisodeRow(const EnvStepResult& final_step) {
@@ -113,7 +156,7 @@ StatusOr<EnvStepResult> SqlGenEnvironment::Step(int action) {
     return out;
   }
   if (out.executable) {
-    out.metric = MetricOf(fsm_.builder().ast());
+    out.metric = StepMetric();
     out.reward = reward_.Reward(true, out.metric);
     out.satisfied = reward_.constraint().Satisfied(out.metric);
   } else {

@@ -7,6 +7,7 @@
 #include "exec/executor.h"
 #include "fsm/generation_fsm.h"
 #include "optimizer/cost_model.h"
+#include "optimizer/feedback_cache.h"
 #include "rl/reward.h"
 #include "rl/trajectory.h"
 
@@ -28,6 +29,18 @@ struct EnvironmentOptions {
   /// When false, only the completed query earns a reward (the sparse
   /// signal the paper's §4.2 Remark argues against) — ablation knob.
   bool dense_partial_rewards = true;
+
+  /// Optional shared memo of estimator feedback keyed by AST fingerprint
+  /// (see FeedbackCache): share one across episodes, trainers and service
+  /// workers. Must outlive the environment and serve a single database.
+  /// Ignored in true-execution mode (measured, not estimated, feedback).
+  FeedbackCache* feedback_cache = nullptr;
+
+  /// O(1) incremental estimates for the per-step feedback of the growing
+  /// SELECT — bitwise identical to the full AST walk (cross-checked by the
+  /// fuzz oracle, and on every step when LSG_CHECK_INCREMENTAL=1 is set).
+  /// Disable to force full re-walks on every step.
+  bool incremental_prefix_estimates = true;
 };
 
 /// The paper's environment (Figure 1): wraps the FSM (action masking), the
@@ -63,6 +76,10 @@ class SqlGenEnvironment : public Environment {
   /// sink (no-op unless obs::Enabled() and a sink is installed).
   void RecordEpisodeRow(const EnvStepResult& final_step);
 
+  /// Per-step feedback: the incremental prefix path when it applies,
+  /// otherwise MetricOf (which consults the cache).
+  double StepMetric();
+
   const Database* db_;
   const Vocabulary* vocab_;
   const CardinalityEstimator* estimator_;
@@ -71,6 +88,8 @@ class SqlGenEnvironment : public Environment {
   EnvironmentOptions options_;
   GenerationFsm fsm_;
   Executor executor_;
+  PrefixEstimator prefix_est_;
+  bool check_incremental_;  ///< LSG_CHECK_INCREMENTAL=1 debug cross-check
   mutable int64_t feedback_calls_ = 0;
 
   // Per-episode telemetry accumulators (active only while obs::Enabled();

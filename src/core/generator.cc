@@ -40,6 +40,9 @@ Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
   env_opts.profile = options_.profile;
   env_opts.feedback = options_.feedback;
   env_opts.dense_partial_rewards = options_.dense_partial_rewards;
+  env_opts.feedback_cache = options_.feedback_cache;
+  env_opts.incremental_prefix_estimates =
+      options_.incremental_prefix_estimates;
   env_ = std::make_unique<SqlGenEnvironment>(db_, &*vocab_, estimator_.get(),
                                              cost_model_.get(), constraint,
                                              env_opts);

@@ -33,6 +33,14 @@ struct LearnedSqlGenOptions {
   /// rewards (§4.2 Remark).
   bool dense_partial_rewards = true;
 
+  /// Optional shared feedback-estimation cache (must outlive the pipeline
+  /// and serve this database only). The cache itself is thread-safe, so
+  /// concurrent pipelines over the same database may share one.
+  FeedbackCache* feedback_cache = nullptr;
+
+  /// See EnvironmentOptions::incremental_prefix_estimates.
+  bool incremental_prefix_estimates = true;
+
   uint64_t seed = 2024;
 };
 

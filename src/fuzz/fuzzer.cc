@@ -119,6 +119,12 @@ StatusOr<FuzzRunStats> RunFuzz(const FuzzOptions& options) {
         const uint64_t skipped_before = oracle.skipped();
         auto violation = oracle.Check(*ast);
         stats.skipped += oracle.skipped() - skipped_before;
+        if (!violation.has_value()) {
+          // Sixth oracle: incremental prefix estimates must reproduce the
+          // full walk at every executable prefix of the episode.
+          violation = oracle.CheckPrefixEstimates(
+              &*vocab, profiles[pi].profile, actions);
+        }
         if (!violation.has_value()) continue;
         trace.oracle = violation->oracle;
         trace.detail = violation->detail;
@@ -130,6 +136,10 @@ StatusOr<FuzzRunStats> RunFuzz(const FuzzOptions& options) {
             auto replayed = ReplayActions(&replay_fsm, candidate, nullptr);
             if (!replayed.ok()) return false;
             auto v = oracle.Check(*replayed);
+            if (!v.has_value()) {
+              v = oracle.CheckPrefixEstimates(&*vocab, profiles[pi].profile,
+                                              candidate);
+            }
             return v.has_value() && v->oracle == want;
           };
           ShrinkResult shrunk = ShrinkTrace(actions, still_fails);
@@ -140,6 +150,10 @@ StatusOr<FuzzRunStats> RunFuzz(const FuzzOptions& options) {
           auto minimized = ReplayActions(&final_fsm, shrunk.actions, nullptr);
           if (minimized.ok()) {
             auto v = oracle.Check(*minimized);
+            if (!v.has_value()) {
+              v = oracle.CheckPrefixEstimates(&*vocab, profiles[pi].profile,
+                                              shrunk.actions);
+            }
             if (v.has_value() && v->oracle == want) {
               trace.actions = shrunk.actions;
               trace.detail = v->detail;
@@ -187,6 +201,10 @@ StatusOr<EpisodeTrace> ReplayTraceEpisode(const EpisodeTrace& trace,
   EpisodeTrace result = trace;
   result.sql = RenderSql(ast, db.catalog());
   auto violation = oracle.Check(ast);
+  if (!violation.has_value()) {
+    violation = oracle.CheckPrefixEstimates(
+        &*vocab, profiles[trace.profile].profile, trace.actions);
+  }
   if (violation.has_value()) {
     result.oracle = violation->oracle;
     result.detail = violation->detail;

@@ -96,6 +96,7 @@ DifferentialOracle::DifferentialOracle(Database* db, OracleOptions options)
       options_(options),
       stats_(DatabaseStats::Collect(*db)),
       estimator_(db, &stats_),
+      cost_model_(&estimator_),
       exec_(db),
       dml_(db),
       reference_(db, options.max_reference_work),
@@ -272,6 +273,54 @@ std::optional<OracleViolation> DifferentialOracle::CheckDmlApply(
                                                *recount)).c_str()
                                : recount.status().ToString().c_str(),
                   static_cast<unsigned long long>(*applied)) + sql};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Exact equality, treating NaN as matching NaN (the invariant is "same
+// bits", not numeric closeness).
+bool SameEstimate(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+}  // namespace
+
+std::optional<OracleViolation> DifferentialOracle::CheckPrefixEstimates(
+    const Vocabulary* vocab, const QueryProfile& profile,
+    const std::vector<int>& actions) {
+  if (!options_.check_prefix_estimates) return std::nullopt;
+  GenerationFsm fsm(db_, vocab, profile);
+  PrefixEstimator incremental(&estimator_, &cost_model_);
+  for (size_t i = 0; i < actions.size(); ++i) {
+    Status st = fsm.Step(actions[i]);
+    if (!st.ok()) {
+      return OracleViolation{
+          "prefix-estimate",
+          StrFormat("replay rejected token %zu: ", i) + st.ToString()};
+    }
+    if (!fsm.done() && !fsm.IsExecutablePrefix()) continue;
+    const QueryAst& ast = fsm.builder().ast();
+    if (ast.type != QueryType::kSelect || ast.select == nullptr) continue;
+    const double inc_card = incremental.Cardinality(*ast.select);
+    const double full_card = estimator_.EstimateSelect(*ast.select, nullptr);
+    if (!SameEstimate(inc_card, full_card)) {
+      return OracleViolation{
+          "prefix-estimate",
+          StrFormat("cardinality diverged at token %zu: incremental=%.17g "
+                    "full=%.17g",
+                    i, inc_card, full_card)};
+    }
+    const double inc_cost = incremental.Cost(*ast.select);
+    const double full_cost = cost_model_.SelectCost(*ast.select);
+    if (!SameEstimate(inc_cost, full_cost)) {
+      return OracleViolation{
+          "prefix-estimate",
+          StrFormat("cost diverged at token %zu: incremental=%.17g "
+                    "full=%.17g",
+                    i, inc_cost, full_cost)};
+    }
   }
   return std::nullopt;
 }

@@ -5,12 +5,17 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "analysis/sql_linter.h"
 #include "exec/dml_executor.h"
 #include "exec/executor.h"
+#include "fsm/generation_fsm.h"
 #include "fuzz/reference_eval.h"
 #include "optimizer/cardinality_estimator.h"
 #include "optimizer/column_stats.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/feedback_cache.h"
 #include "sql/ast.h"
 #include "storage/table.h"
 
@@ -23,6 +28,7 @@ struct OracleOptions {
   bool check_roundtrip = true;  ///< render → parse → render fixpoint + re-exec
   bool check_estimator = true;  ///< estimator finite / non-negative / bounded
   bool check_dml_apply = true;  ///< DML apply-for-real under snapshot/rollback
+  bool check_prefix_estimates = true;  ///< incremental == full, token-by-token
 
   /// Work budget per reference evaluation; exceeding it skips the check
   /// (counted in skipped()) instead of stalling the fuzzer.
@@ -72,6 +78,15 @@ class DifferentialOracle {
   /// Runs every enabled oracle; nullopt means the query passed them all.
   std::optional<OracleViolation> Check(const QueryAst& ast);
 
+  /// Sixth oracle (prefix-estimate): replays `actions` through a fresh FSM
+  /// over the oracle's database and asserts at every executable prefix of
+  /// a SELECT that the incremental PrefixEstimator reproduces the full
+  /// EstimateSelect / SelectCost walk bitwise — the invariant the
+  /// environment's O(1) feedback path depends on.
+  std::optional<OracleViolation> CheckPrefixEstimates(
+      const Vocabulary* vocab, const QueryProfile& profile,
+      const std::vector<int>& actions);
+
   uint64_t checked() const { return checked_; }
   /// Episodes where some check was skipped (join blowup / work budget).
   uint64_t skipped() const { return skipped_; }
@@ -84,6 +99,7 @@ class DifferentialOracle {
   OracleOptions options_;
   DatabaseStats stats_;
   CardinalityEstimator estimator_;
+  CostModel cost_model_;
   Executor exec_;
   DmlExecutor dml_;
   ReferenceEvaluator reference_;

@@ -8,6 +8,23 @@
 #include "obs/metrics_registry.h"
 
 namespace lsg {
+namespace {
+
+// Fallback selectivity when the comparison constant is unknown (e.g. a
+// scalar subquery whose value cannot be estimated). Operator-dependent,
+// PostgreSQL-style: equality is far more selective than a range.
+double DefaultComparisonSelectivity(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return 0.005;
+    case CompareOp::kNe:
+      return 1.0 - 0.005;
+    default:
+      return 0.33;  // default inequality selectivity
+  }
+}
+
+}  // namespace
 
 CardinalityEstimator::CardinalityEstimator(const Database* db,
                                            const DatabaseStats* stats)
@@ -15,47 +32,58 @@ CardinalityEstimator::CardinalityEstimator(const Database* db,
   LSG_CHECK(db != nullptr && stats != nullptr);
 }
 
+double CardinalityEstimator::JoinAppendRows(const std::vector<int>& tables,
+                                            size_t chain_len, double rows,
+                                            double* base_rows) const {
+  const Catalog& cat = db_->catalog();
+  const int new_ti = tables[chain_len];
+  double new_rows = static_cast<double>(stats_->table_rows[new_ti]);
+  if (base_rows != nullptr) *base_rows += new_rows;
+  // Find the FK edge into the chain and estimate with the standard
+  // |R| * |S| / max(ndv(a), ndv(b)) formula.
+  double ndv_a = 1.0, ndv_b = 1.0;
+  bool found = false;
+  for (size_t j = 0; j < chain_len; ++j) {
+    const int prev = tables[j];
+    for (const ForeignKey& fk :
+         cat.JoinEdges(cat.table(prev).name(), cat.table(new_ti).name())) {
+      const bool new_is_from = fk.from_table == cat.table(new_ti).name();
+      const std::string& new_col = new_is_from ? fk.from_column : fk.to_column;
+      const std::string& old_col = new_is_from ? fk.to_column : fk.from_column;
+      int nc = cat.table(new_ti).FindColumn(new_col);
+      int oc = cat.table(prev).FindColumn(old_col);
+      ndv_a = std::max<double>(1.0, static_cast<double>(
+                                        stats_->columns[new_ti][nc].ndv));
+      ndv_b = std::max<double>(
+          1.0, static_cast<double>(stats_->columns[prev][oc].ndv));
+      found = true;
+      break;
+    }
+    if (found) break;
+  }
+  if (!found) {
+    // Cross join (unreachable under the FSM); cap to avoid runaway —
+    // long chains would otherwise overflow to inf and poison rewards and
+    // memoized feedback entries.
+    rows = std::min(rows * new_rows, kMaxJoinRows);
+  } else {
+    rows = rows * new_rows / std::max(ndv_a, ndv_b);
+  }
+  return rows;
+}
+
 double CardinalityEstimator::JoinChainRows(const std::vector<int>& tables,
                                            EstimateDetail* detail) const {
   if (tables.empty()) return 0.0;
-  const Catalog& cat = db_->catalog();
-  double rows = static_cast<double>(stats_->table_rows[tables[0]]);
-  if (detail != nullptr) detail->base_rows += rows;
-  std::vector<int> chain = {tables[0]};
+  double base = static_cast<double>(stats_->table_rows[tables[0]]);
+  double rows = base;
   for (size_t i = 1; i < tables.size(); ++i) {
-    const int new_ti = tables[i];
-    double new_rows = static_cast<double>(stats_->table_rows[new_ti]);
-    if (detail != nullptr) detail->base_rows += new_rows;
-    // Find the FK edge into the chain and estimate with the standard
-    // |R| * |S| / max(ndv(a), ndv(b)) formula.
-    double ndv_a = 1.0, ndv_b = 1.0;
-    bool found = false;
-    for (int prev : chain) {
-      for (const ForeignKey& fk :
-           cat.JoinEdges(cat.table(prev).name(), cat.table(new_ti).name())) {
-        const bool new_is_from = fk.from_table == cat.table(new_ti).name();
-        const std::string& new_col = new_is_from ? fk.from_column : fk.to_column;
-        const std::string& old_col = new_is_from ? fk.to_column : fk.from_column;
-        int nc = cat.table(new_ti).FindColumn(new_col);
-        int oc = cat.table(prev).FindColumn(old_col);
-        ndv_a = std::max<double>(1.0, static_cast<double>(
-                                          stats_->columns[new_ti][nc].ndv));
-        ndv_b = std::max<double>(
-            1.0, static_cast<double>(stats_->columns[prev][oc].ndv));
-        found = true;
-        break;
-      }
-      if (found) break;
-    }
-    if (!found) {
-      // Cross join (unreachable under the FSM); cap to avoid runaway.
-      rows = rows * new_rows;
-    } else {
-      rows = rows * new_rows / std::max(ndv_a, ndv_b);
-    }
-    chain.push_back(new_ti);
+    rows = JoinAppendRows(tables, i, rows, &base);
   }
-  if (detail != nullptr) detail->join_output += rows;
+  if (detail != nullptr) {
+    detail->base_rows += base;
+    detail->join_output += rows;
+  }
   return rows;
 }
 
@@ -104,7 +132,7 @@ double CardinalityEstimator::PredicateSelectivity(
                                       sub_detail.subquery_cost_rows;
       }
       Value scalar = EstimateScalar(*p.subquery);
-      if (scalar.is_null()) return 0.33;  // default inequality selectivity
+      if (scalar.is_null()) return DefaultComparisonSelectivity(p.op);
       const ColumnStats& cs = stats_->at(p.column);
       return cs.Selectivity(p.op, scalar);
     }
@@ -181,8 +209,13 @@ double CardinalityEstimator::EstimateSelect(const SelectQuery& q,
   double sel = WhereSelectivity(q.where, d);
   double filtered = rows * sel;
   d->after_where = filtered;
+  double out = SelectOutputRows(q, filtered);
+  d->output_rows = out;
+  return out;
+}
 
-  double out;
+double CardinalityEstimator::SelectOutputRows(const SelectQuery& q,
+                                              double filtered) const {
   if (!q.group_by.empty()) {
     // Distinct-product bound, capped by the input size.
     double ndv_prod = 1.0;
@@ -191,18 +224,15 @@ double CardinalityEstimator::EstimateSelect(const SelectQuery& q,
           1.0, static_cast<double>(stats_->at(c).ndv));
       if (ndv_prod > 1e15) break;
     }
-    out = std::min(filtered, ndv_prod);
+    double out = std::min(filtered, ndv_prod);
     if (q.having.has_value()) {
       // Heuristic HAVING selectivity (eq is more selective than ranges).
       out *= (q.having->op == CompareOp::kEq) ? 0.1 : 0.4;
     }
-  } else if (q.HasAggregate()) {
-    out = 1.0;
-  } else {
-    out = filtered;
+    return out;
   }
-  d->output_rows = out;
-  return out;
+  if (q.HasAggregate()) return 1.0;
+  return filtered;
 }
 
 double CardinalityEstimator::EstimateCardinality(const QueryAst& ast) const {

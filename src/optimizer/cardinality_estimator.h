@@ -27,6 +27,11 @@ struct EstimateDetail {
 /// issue").
 class CardinalityEstimator {
  public:
+  /// Ceiling on a join-chain estimate. Cross joins (no FK edge) multiply
+  /// row counts directly and would otherwise overflow to inf across long
+  /// chains, poisoning rewards and any memoized feedback.
+  static constexpr double kMaxJoinRows = 1e15;
+
   /// `db` and `stats` must outlive the estimator.
   CardinalityEstimator(const Database* db, const DatabaseStats* stats);
 
@@ -43,6 +48,18 @@ class CardinalityEstimator {
   /// Estimated scalar value produced by a scalar subquery's aggregate item
   /// (MAX -> column max, AVG -> mean, SUM -> mean * rows, COUNT -> rows...).
   Value EstimateScalar(const SelectQuery& q) const;
+
+  /// One step of the join-chain fold: joins `tables[chain_len]` into a
+  /// chain already holding `tables[0..chain_len)` whose running estimate is
+  /// `rows`; adds the new table's scan rows to `*base_rows`. This is the
+  /// exact loop body of the full chain walk, exposed so the incremental
+  /// PrefixEstimator reproduces it bitwise. Requires chain_len >= 1.
+  double JoinAppendRows(const std::vector<int>& tables, size_t chain_len,
+                        double rows, double* base_rows) const;
+
+  /// Output rows of the SELECT tail (GROUP BY distinct-product, aggregate
+  /// collapse, HAVING factor) given the rows surviving WHERE.
+  double SelectOutputRows(const SelectQuery& q, double filtered) const;
 
   const DatabaseStats& stats() const { return *stats_; }
 

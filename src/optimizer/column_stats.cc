@@ -40,10 +40,24 @@ double ColumnStats::LtSelectivity(const Value& v) const {
     double x = v.AsNumber();
     if (x <= histogram_bounds.front()) return 0.0;
     if (x > histogram_bounds.back()) return non_null;
-    // Locate the bucket and interpolate linearly inside it.
-    size_t b = 1;
-    while (b < histogram_bounds.size() && histogram_bounds[b] < x) ++b;
-    if (b >= histogram_bounds.size()) return non_null;
+    if (x == histogram_bounds.back()) {
+      // x equals the histogram max. Interpolation would claim every
+      // non-null row is strictly below it, contradicting EqSelectivity(x)
+      // > 0 (so `<=` could exceed the non-null ceiling and `>` could go
+      // negative before clamping). Everything except the rows equal to
+      // the max sits strictly below it.
+      return std::max(0.0, non_null - EqSelectivity(v));
+    }
+    // Binary-search the bucket (the linear scan this replaces was
+    // O(buckets) on the estimator's hottest path), then interpolate
+    // linearly inside it. lower_bound yields the first bound >= x, which
+    // preserves strict-< semantics when x lands exactly on a bound: with
+    // equi-depth bounds (possibly duplicated under skew) the first
+    // occurrence marks the quantile where x begins, so sel = first_ge/B.
+    size_t b = static_cast<size_t>(
+        std::lower_bound(histogram_bounds.begin() + 1, histogram_bounds.end(),
+                         x) -
+        histogram_bounds.begin());
     double lo = histogram_bounds[b - 1];
     double hi = histogram_bounds[b];
     double frac_in_bucket = hi > lo ? (x - lo) / (hi - lo) : 0.5;

@@ -38,12 +38,16 @@ class CostModel {
   /// cardinalities from an actual execution (feedback ablation).
   double TrueCost(const ExecStats& stats, double output_rows) const;
 
-  const CostConstants& constants() const { return constants_; }
-
- private:
+  /// Cost formulas over an already-computed estimate breakdown. Public so
+  /// the incremental PrefixEstimator can price a prefix from its running
+  /// detail without re-walking the AST; `SelectCost` is this applied to a
+  /// fresh full estimate.
   double CostFromDetail(const EstimateDetail& d, int num_predicates,
                         int num_joins, bool has_group, bool has_order) const;
 
+  const CostConstants& constants() const { return constants_; }
+
+ private:
   const CardinalityEstimator* estimator_;
   CostConstants constants_;
 };

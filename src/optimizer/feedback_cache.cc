@@ -1,0 +1,284 @@
+#include "optimizer/feedback_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "exec/expression.h"
+#include "obs/metrics_registry.h"
+
+namespace lsg {
+namespace {
+
+constexpr uint64_t kFingerprintSeed = 0x4c53474643414348ull;  // "LSGFCACH"
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  return SplitMix64(h ^ (v + 0x9e3779b97f4a7c15ull));
+}
+
+inline uint64_t MixColumn(uint64_t h, const ColumnRef& c) {
+  return Mix(h, (static_cast<uint64_t>(static_cast<uint32_t>(c.table_idx))
+                 << 32) |
+                    static_cast<uint32_t>(c.column_idx));
+}
+
+uint64_t HashSelect(uint64_t h, const SelectQuery& q);
+
+uint64_t HashWhere(uint64_t h, const WhereClause& w) {
+  h = Mix(h, w.predicates.size());
+  for (const Predicate& p : w.predicates) {
+    h = Mix(h, static_cast<uint64_t>(p.kind));
+    h = MixColumn(h, p.column);
+    h = Mix(h, static_cast<uint64_t>(p.op));
+    h = Mix(h, p.negated ? 1 : 0);
+    h = Mix(h, static_cast<uint64_t>(p.value.Hash()));
+    if (p.subquery != nullptr) h = HashSelect(h, *p.subquery);
+  }
+  for (BoolConn c : w.connectors) h = Mix(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+uint64_t HashSelect(uint64_t h, const SelectQuery& q) {
+  h = Mix(h, q.tables.size());
+  for (int t : q.tables) h = Mix(h, static_cast<uint64_t>(t));
+  h = Mix(h, q.items.size());
+  for (const SelectItem& item : q.items) {
+    h = Mix(h, static_cast<uint64_t>(item.agg));
+    h = MixColumn(h, item.column);
+  }
+  h = HashWhere(h, q.where);
+  h = Mix(h, q.group_by.size());
+  for (const ColumnRef& c : q.group_by) h = MixColumn(h, c);
+  h = Mix(h, q.having.has_value() ? 1 : 0);
+  if (q.having.has_value()) {
+    h = Mix(h, static_cast<uint64_t>(q.having->agg));
+    h = MixColumn(h, q.having->column);
+    h = Mix(h, static_cast<uint64_t>(q.having->op));
+    h = Mix(h, static_cast<uint64_t>(q.having->value.Hash()));
+  }
+  h = Mix(h, q.order_by.size());
+  for (const ColumnRef& c : q.order_by) h = MixColumn(h, c);
+  return h;
+}
+
+}  // namespace
+
+uint64_t AstFingerprint(const SelectQuery& q) {
+  uint64_t h = Mix(kFingerprintSeed, static_cast<uint64_t>(QueryType::kSelect));
+  return HashSelect(h, q);
+}
+
+uint64_t AstFingerprint(const QueryAst& ast) {
+  uint64_t h = Mix(kFingerprintSeed, static_cast<uint64_t>(ast.type));
+  switch (ast.type) {
+    case QueryType::kSelect:
+      if (ast.select != nullptr) h = HashSelect(h, *ast.select);
+      break;
+    case QueryType::kInsert:
+      if (ast.insert != nullptr) {
+        h = Mix(h, static_cast<uint64_t>(ast.insert->table_idx));
+        h = Mix(h, ast.insert->values.size());
+        for (const Value& v : ast.insert->values) {
+          h = Mix(h, static_cast<uint64_t>(v.Hash()));
+        }
+        h = Mix(h, ast.insert->source != nullptr ? 1 : 0);
+        if (ast.insert->source != nullptr) {
+          h = HashSelect(h, *ast.insert->source);
+        }
+      }
+      break;
+    case QueryType::kUpdate:
+      if (ast.update != nullptr) {
+        h = Mix(h, static_cast<uint64_t>(ast.update->table_idx));
+        h = MixColumn(h, ast.update->set_column);
+        h = Mix(h, static_cast<uint64_t>(ast.update->set_value.Hash()));
+        h = HashWhere(h, ast.update->where);
+      }
+      break;
+    case QueryType::kDelete:
+      if (ast.del != nullptr) {
+        h = Mix(h, static_cast<uint64_t>(ast.del->table_idx));
+        h = HashWhere(h, ast.del->where);
+      }
+      break;
+  }
+  return h;
+}
+
+FeedbackCache::FeedbackCache() : FeedbackCache(Options()) {}
+
+FeedbackCache::FeedbackCache(Options options) : key_salt_(options.key_salt) {
+  int want = std::max(1, options.shards);
+  int bits = 0;
+  while ((1 << bits) < want && bits < 8) ++bits;
+  const int n = 1 << bits;
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  per_shard_capacity_ =
+      std::max<size_t>(1, options.capacity / static_cast<size_t>(n));
+}
+
+uint64_t FeedbackCache::Key(const QueryAst& ast, FeedbackKind kind) const {
+  // Final SplitMix64 keeps the top bits (shard selector) well mixed even
+  // after salting.
+  return SplitMix64(AstFingerprint(ast) ^ key_salt_ ^
+                    (kind == FeedbackKind::kCost ? 0x9e3779b97f4a7c15ull : 0));
+}
+
+std::optional<double> FeedbackCache::Lookup(uint64_t key) {
+  Shard& s = ShardFor(key);
+  bool hit = false;
+  double value = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      value = it->second->value;
+      hit = true;
+      ++s.hits;
+    } else {
+      ++s.misses;
+    }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter& hits =
+        obs::MetricsRegistry::Global().GetCounter("opt.cache.hits");
+    static obs::Counter& misses =
+        obs::MetricsRegistry::Global().GetCounter("opt.cache.misses");
+    (hit ? hits : misses).Add(1);
+  }
+  if (hit) return value;
+  return std::nullopt;
+}
+
+void FeedbackCache::Insert(uint64_t key, double value) {
+  Shard& s = ShardFor(key);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      // Refresh: estimates are deterministic so the value cannot differ,
+      // but racing workers may insert the same key twice.
+      it->second->value = value;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.push_front(Entry{key, value});
+    s.index.emplace(key, s.lru.begin());
+    ++s.insertions;
+    if (s.index.size() > per_shard_capacity_) {
+      s.index.erase(s.lru.back().key);
+      s.lru.pop_back();
+      ++s.evictions;
+      evicted = true;
+    }
+  }
+  if (evicted && obs::Enabled()) {
+    static obs::Counter& evictions =
+        obs::MetricsRegistry::Global().GetCounter("opt.cache.evictions");
+    evictions.Add(1);
+  }
+}
+
+FeedbackCache::Stats FeedbackCache::GetStats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->index.size();
+  }
+  return out;
+}
+
+void FeedbackCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+PrefixEstimator::PrefixEstimator(const CardinalityEstimator* estimator,
+                                 const CostModel* cost_model)
+    : estimator_(estimator), cost_model_(cost_model) {
+  LSG_CHECK(estimator != nullptr);
+}
+
+void PrefixEstimator::Reset() {
+  tables_done_ = 0;
+  rows_ = 0.0;
+  base_rows_ = 0.0;
+  pred_sels_.clear();
+  pred_sub_rows_.clear();
+}
+
+double PrefixEstimator::ComputeSelect(const SelectQuery& q,
+                                      EstimateDetail* d) {
+  // Tokens only append between resets; if the query shrank the caller is
+  // estimating a different AST — start over instead of returning garbage.
+  if (q.tables.size() < tables_done_ ||
+      q.where.predicates.size() < pred_sels_.size()) {
+    Reset();
+  }
+  // Join chain: a left fold whose running value we keep. Each append is
+  // the exact loop step of CardinalityEstimator::JoinChainRows.
+  for (; tables_done_ < q.tables.size(); ++tables_done_) {
+    if (tables_done_ == 0) {
+      rows_ = static_cast<double>(estimator_->stats().table_rows[q.tables[0]]);
+      base_rows_ += rows_;
+    } else {
+      rows_ = estimator_->JoinAppendRows(q.tables, tables_done_, rows_,
+                                         &base_rows_);
+    }
+  }
+  // Freeze every predicate that can no longer change (all but the last:
+  // a new token can only extend the final predicate or open a new clause).
+  const size_t np = q.where.predicates.size();
+  while (pred_sels_.size() + 1 < np) {
+    const Predicate& p = q.where.predicates[pred_sels_.size()];
+    EstimateDetail pd;
+    double s = estimator_->PredicateSelectivity(p, &pd);
+    pred_sels_.push_back(s);
+    pred_sub_rows_.push_back(pd.subquery_cost_rows);
+  }
+  double sel = 1.0;
+  double sub_rows = 0.0;
+  if (np > 0) {
+    for (double r : pred_sub_rows_) sub_rows += r;
+    scratch_sels_.assign(pred_sels_.begin(), pred_sels_.end());
+    EstimateDetail pd;
+    scratch_sels_.push_back(
+        estimator_->PredicateSelectivity(q.where.predicates[np - 1], &pd));
+    sub_rows += pd.subquery_cost_rows;
+    sel = CombineSelectivities(scratch_sels_, q.where.connectors);
+  }
+  double filtered = rows_ * sel;
+  d->base_rows = base_rows_;
+  d->join_output = rows_;
+  d->after_where = filtered;
+  d->subquery_cost_rows = sub_rows;
+  double out = estimator_->SelectOutputRows(q, filtered);
+  d->output_rows = out;
+  return out;
+}
+
+double PrefixEstimator::Cardinality(const SelectQuery& q) {
+  EstimateDetail d;
+  return ComputeSelect(q, &d);
+}
+
+double PrefixEstimator::Cost(const SelectQuery& q) {
+  LSG_CHECK(cost_model_ != nullptr);
+  EstimateDetail d;
+  ComputeSelect(q, &d);
+  return cost_model_->CostFromDetail(d, q.TotalPredicates(), q.NumJoins(),
+                                     !q.group_by.empty(),
+                                     !q.order_by.empty());
+}
+
+}  // namespace lsg

@@ -1,0 +1,165 @@
+#ifndef LEARNEDSQLGEN_OPTIMIZER_FEEDBACK_CACHE_H_
+#define LEARNEDSQLGEN_OPTIMIZER_FEEDBACK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "sql/ast.h"
+
+namespace lsg {
+
+/// Which feedback metric an entry memoizes. Both metrics are pure functions
+/// of the AST (given immutable stats), so they share one key space salted
+/// by kind.
+enum class FeedbackKind { kCardinality = 0, kCost = 1 };
+
+/// Canonical structural fingerprint of a query AST: a 64-bit hash over the
+/// query shape (type, table chain, select items, predicates including
+/// nested subqueries, connectors, GROUP BY / HAVING / ORDER BY, DML
+/// fields) and every literal value. Two ASTs that would render to the same
+/// SQL hash equal; any structural or literal difference changes the hash.
+uint64_t AstFingerprint(const QueryAst& ast);
+uint64_t AstFingerprint(const SelectQuery& q);
+
+/// Sharded, thread-safe LRU cache memoizing EstimateCardinality /
+/// EstimateCost results across episodes and across service workers.
+///
+/// Invalidation-free by design: statistics are collected once per run and
+/// never mutated, so a fingerprint's estimate can never go stale. The two
+/// ways the underlying data *can* change both bypass the cache: the
+/// true-execution feedback mode (measured, not estimated) and the fuzz
+/// harness's DML apply/restore cycle (which snapshots and restores tables
+/// around each episode). One cache serves one database — keys do not
+/// include the catalog, so use `Options::key_salt` (or separate caches)
+/// when several databases share a process.
+///
+/// Hit/miss/insertion/eviction counts are exact: they are maintained under
+/// the owning shard's mutex, not as racy approximations. When LSG_OBS is
+/// enabled they are additionally mirrored into the global metrics registry
+/// as `opt.cache.{hits,misses,evictions}`.
+class FeedbackCache {
+ public:
+  struct Options {
+    size_t capacity = 1 << 16;  ///< max entries across all shards
+    int shards = 16;            ///< rounded up to a power of two
+    uint64_t key_salt = 0;      ///< distinguishes databases sharing a process
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+  };
+
+  FeedbackCache();  // default Options
+  explicit FeedbackCache(Options options);
+
+  /// Cache key for `ast` under this cache's salt.
+  uint64_t Key(const QueryAst& ast, FeedbackKind kind) const;
+
+  /// Returns the memoized value, bumping it to most-recently-used.
+  std::optional<double> Lookup(uint64_t key);
+
+  /// Inserts (or refreshes) `key`, evicting the LRU entry of the owning
+  /// shard when that shard is full.
+  void Insert(uint64_t key, double value);
+
+  /// Exact aggregate counters (sums the per-shard counts under their
+  /// mutexes; a concurrent snapshot, not a stop-the-world one).
+  Stats GetStats() const;
+
+  /// Drops every entry; counters are preserved.
+  void Clear();
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    double value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Keys are SplitMix64-finalized so the high bits are well mixed (the
+    // hash map underneath consumes the low bits). shards_.size() is a
+    // power of two <= 256.
+    return *shards_[(key >> 56) & (shards_.size() - 1)];
+  }
+
+  uint64_t key_salt_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Incremental prefix estimator: per-episode running state that turns the
+/// per-token feedback call from a full AST re-walk into an O(1) update.
+///
+/// The environment grows one query monotonically between Reset() calls
+/// (tokens only append), so the join chain is a left fold whose running
+/// value we keep, and every WHERE predicate except the last is frozen and
+/// its selectivity (and nested-subquery work) memoized. Only the last
+/// predicate — the one a new token can still be extending — is
+/// re-estimated fresh each call; the cheap tail (GROUP BY / HAVING /
+/// aggregate collapse, ORDER BY costing) is always recomputed.
+///
+/// Every arithmetic step mirrors CardinalityEstimator::EstimateSelect /
+/// CostModel::SelectCost exactly (same operations in the same order), so
+/// incremental results are bitwise identical to the full walk — asserted
+/// by the `prefix-estimate` fuzz oracle and, under LSG_CHECK_INCREMENTAL,
+/// cross-checked on every environment step.
+class PrefixEstimator {
+ public:
+  /// `estimator` must outlive this object; `cost_model` may be null when
+  /// only cardinalities are needed.
+  PrefixEstimator(const CardinalityEstimator* estimator,
+                  const CostModel* cost_model);
+
+  /// Forgets all per-episode state. Call whenever the environment resets.
+  void Reset();
+
+  /// Estimated cardinality of the current prefix; equals
+  /// `estimator->EstimateSelect(q, nullptr)` bitwise.
+  double Cardinality(const SelectQuery& q);
+
+  /// Estimated cost of the current prefix; equals
+  /// `cost_model->SelectCost(q)` bitwise.
+  double Cost(const SelectQuery& q);
+
+ private:
+  double ComputeSelect(const SelectQuery& q, EstimateDetail* d);
+
+  const CardinalityEstimator* estimator_;
+  const CostModel* cost_model_;
+
+  // Running join-chain fold over q.tables[0..tables_done_).
+  size_t tables_done_ = 0;
+  double rows_ = 0.0;
+  double base_rows_ = 0.0;
+  // Memoized selectivity and nested-subquery row work for the frozen
+  // predicates q.where.predicates[0..pred_sels_.size()).
+  std::vector<double> pred_sels_;
+  std::vector<double> pred_sub_rows_;
+  std::vector<double> scratch_sels_;  // reused per call to avoid realloc
+};
+
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_OPTIMIZER_FEEDBACK_CACHE_H_

@@ -7,13 +7,30 @@
 #include "obs/span_tracer.h"
 
 namespace lsg {
+namespace {
+
+// Folds the service-level feedback cache into the per-pipeline options the
+// registry builds every model from.
+LearnedSqlGenOptions MergedGenOptions(const GenerationServiceOptions& options) {
+  LearnedSqlGenOptions gen = options.gen;
+  if (options.feedback_cache != nullptr) {
+    gen.feedback_cache = options.feedback_cache;
+  }
+  return gen;
+}
+
+}  // namespace
 
 GenerationService::GenerationService(const Database* db,
                                      const GenerationServiceOptions& options)
     : options_(options),
       metrics_(options.metrics_registry),
-      registry_(db, options.gen, options.registry, &metrics_),
-      queue_(options.queue_capacity) {}
+      registry_(db, MergedGenOptions(options), options.registry, &metrics_),
+      queue_(options.queue_capacity) {
+  if (options_.feedback_cache != nullptr) {
+    options_.gen.feedback_cache = options_.feedback_cache;
+  }
+}
 
 StatusOr<std::unique_ptr<GenerationService>> GenerationService::Create(
     const Database* db, const GenerationServiceOptions& options) {

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "core/constraint.h"
 #include "core/environment.h"
 #include "core/generator.h"
 #include "core/workload.h"
+#include "obs/episode_telemetry.h"
+#include "obs/json.h"
+#include "obs/obs.h"
 #include "tests/test_db.h"
 
 namespace lsg {
@@ -156,6 +161,55 @@ TEST_F(EnvTest, TrueExecutionFeedbackMatchesExecutor) {
   auto r = env.Step(vocab_->column_token_id(score(), 0));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->metric, 30.0);  // exact, not estimated
+}
+
+TEST_F(EnvTest, TelemetryBaselinesResetWhileObsDisabled) {
+  // Regression: Reset() used to skip the per-episode telemetry baselines
+  // unless obs::Enabled(), so turning observability on mid-run attributed
+  // every feedback call since construction — and wall time since an
+  // arbitrary epoch — to the first recorded episode.
+  auto env = MakeEnv(Constraint::Range(ConstraintMetric::kCardinality, 1, 100));
+  auto run_episode = [&] {
+    env->Reset();
+    ASSERT_TRUE(env->Step(vocab_->keyword_id(Keyword::kFrom)).ok());
+    ASSERT_TRUE(env->Step(vocab_->table_token_id(score())).ok());
+    ASSERT_TRUE(env->Step(vocab_->keyword_id(Keyword::kSelect)).ok());
+    ASSERT_TRUE(env->Step(vocab_->column_token_id(score(), 0)).ok());
+    ASSERT_TRUE(env->Step(vocab_->eof_id()).ok());
+  };
+
+  obs::SetEnabled(false);
+  run_episode();  // accumulates feedback calls with obs off
+  const int64_t calls_before = env->feedback_calls();
+  ASSERT_GT(calls_before, 0);
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lsg_core_telemetry.jsonl")
+          .string();
+  std::filesystem::remove(path);
+  {
+    obs::EpisodeTelemetry sink(path);
+    ASSERT_TRUE(sink.ok());
+    obs::SetEnabled(true);
+    obs::SetEpisodeSink(&sink);
+    run_episode();  // the only episode that should be in the row
+    obs::SetEpisodeSink(nullptr);
+    obs::SetEnabled(false);
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto row = obs::JsonParse(line);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  // Exactly the second episode's two feedback evaluations (the executable
+  // prefix and the completed query), none of the first episode's.
+  EXPECT_DOUBLE_EQ(row->NumberOr("estimator_calls", -1),
+                   static_cast<double>(env->feedback_calls() - calls_before));
+  // Wall time measured from this episode's Reset(), not from an epoch.
+  EXPECT_GE(row->NumberOr("wall_seconds", -1), 0.0);
+  EXPECT_LT(row->NumberOr("wall_seconds", -1), 60.0);
+  std::filesystem::remove(path);
 }
 
 TEST_F(EnvTest, ProbeMetricDomainOrdered) {

@@ -1,0 +1,365 @@
+// Tests for the feedback-estimation cache (src/optimizer/feedback_cache):
+// AST fingerprint discrimination, LRU eviction order with exact counters,
+// exact accounting under concurrent access, bitwise equivalence of the
+// incremental PrefixEstimator against the full estimator walk, and the
+// tier-1 determinism gate: training with the cache (and with the
+// incremental path) must produce bitwise-identical epoch rewards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/generator.h"
+#include "optimizer/cardinality_estimator.h"
+#include "optimizer/column_stats.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/feedback_cache.h"
+#include "tests/test_db.h"
+
+namespace lsg {
+namespace {
+
+// ----------------------------------------------------------- fingerprint
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest() : db_(BuildScoreStudentDb()) {}
+  int score() { return db_.catalog().FindTable("Score"); }
+  int student() { return db_.catalog().FindTable("Student"); }
+
+  SelectQuery BaseQuery() {
+    SelectQuery q;
+    q.tables = {score()};
+    q.items.push_back({AggFunc::kNone, {score(), 0}});
+    return q;
+  }
+
+  Database db_;
+};
+
+TEST_F(FingerprintTest, EqualAstsHashEqual) {
+  SelectQuery a = BaseQuery();
+  SelectQuery b = BaseQuery();
+  EXPECT_EQ(AstFingerprint(a), AstFingerprint(b));
+}
+
+TEST_F(FingerprintTest, StructuralDifferencesChangeHash) {
+  SelectQuery base = BaseQuery();
+  const uint64_t h0 = AstFingerprint(base);
+
+  SelectQuery other_table = BaseQuery();
+  other_table.tables = {student()};
+  other_table.items[0].column = {student(), 0};
+  EXPECT_NE(AstFingerprint(other_table), h0);
+
+  SelectQuery with_join = BaseQuery();
+  with_join.tables.push_back(student());
+  EXPECT_NE(AstFingerprint(with_join), h0);
+
+  SelectQuery with_agg = BaseQuery();
+  with_agg.items[0].agg = AggFunc::kMax;
+  EXPECT_NE(AstFingerprint(with_agg), h0);
+
+  SelectQuery with_group = BaseQuery();
+  with_group.group_by.push_back({score(), 2});
+  EXPECT_NE(AstFingerprint(with_group), h0);
+
+  SelectQuery with_order = BaseQuery();
+  with_order.order_by.push_back({score(), 3});
+  EXPECT_NE(AstFingerprint(with_order), h0);
+}
+
+TEST_F(FingerprintTest, LiteralAndOperatorChangesChangeHash) {
+  auto with_pred = [&](CompareOp op, double v) {
+    SelectQuery q = BaseQuery();
+    Predicate p;
+    p.column = {score(), 3};
+    p.op = op;
+    p.value = Value(v);
+    q.where.predicates.push_back(std::move(p));
+    return AstFingerprint(q);
+  };
+  const uint64_t lt70 = with_pred(CompareOp::kLt, 70.0);
+  EXPECT_NE(lt70, with_pred(CompareOp::kLt, 71.0));  // literal
+  EXPECT_NE(lt70, with_pred(CompareOp::kGt, 70.0));  // operator
+  EXPECT_NE(lt70, AstFingerprint(BaseQuery()));      // presence
+}
+
+TEST_F(FingerprintTest, KindAndSaltSeparateKeySpaces) {
+  QueryAst ast;
+  ast.type = QueryType::kSelect;
+  ast.select = std::make_unique<SelectQuery>(BaseQuery());
+
+  FeedbackCache plain;
+  EXPECT_NE(plain.Key(ast, FeedbackKind::kCardinality),
+            plain.Key(ast, FeedbackKind::kCost));
+
+  FeedbackCache::Options salted_opts;
+  salted_opts.key_salt = 0xdb2;
+  FeedbackCache salted(salted_opts);
+  EXPECT_NE(plain.Key(ast, FeedbackKind::kCardinality),
+            salted.Key(ast, FeedbackKind::kCardinality));
+}
+
+// ------------------------------------------------------------------ LRU
+
+FeedbackCache::Options SingleShard(size_t capacity) {
+  FeedbackCache::Options o;
+  o.capacity = capacity;
+  o.shards = 1;  // deterministic eviction order for the tests below
+  return o;
+}
+
+TEST(FeedbackCacheTest, MissThenHitWithExactCounters) {
+  FeedbackCache cache(SingleShard(8));
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  cache.Insert(1, 42.0);
+  auto hit = cache.Lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 42.0);
+
+  FeedbackCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(FeedbackCacheTest, EvictsLeastRecentlyUsed) {
+  FeedbackCache cache(SingleShard(4));
+  for (uint64_t k = 1; k <= 4; ++k) cache.Insert(k, static_cast<double>(k));
+  // Touch key 1 so key 2 becomes the LRU entry.
+  ASSERT_TRUE(cache.Lookup(1).has_value());
+  cache.Insert(5, 5.0);
+
+  EXPECT_TRUE(cache.Lookup(1).has_value());   // promoted, survived
+  EXPECT_FALSE(cache.Lookup(2).has_value());  // LRU, evicted
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+  EXPECT_TRUE(cache.Lookup(4).has_value());
+  EXPECT_TRUE(cache.Lookup(5).has_value());
+
+  FeedbackCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 4u);
+}
+
+TEST(FeedbackCacheTest, ReinsertRefreshesWithoutDoubleCounting) {
+  FeedbackCache cache(SingleShard(4));
+  cache.Insert(7, 1.0);
+  cache.Insert(7, 2.0);  // refresh, not a second entry
+  auto hit = cache.Lookup(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 2.0);
+  FeedbackCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(FeedbackCacheTest, ClearDropsEntriesKeepsCounters) {
+  FeedbackCache cache(SingleShard(4));
+  cache.Insert(1, 1.0);
+  ASSERT_TRUE(cache.Lookup(1).has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  FeedbackCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 1u);  // pre-Clear history preserved
+}
+
+TEST(FeedbackCacheTest, ConcurrentAccountingIsExact) {
+  // Deterministic phases so the expected totals are exact even under
+  // threads (and the test doubles as a TSan target for the shard locking):
+  // phase 1 populates, phase 2 is all hits, phase 3 is all misses.
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 256;
+  constexpr int kRounds = 50;
+  FeedbackCache::Options o;
+  o.capacity = 1 << 12;  // large enough that nothing is evicted
+  o.shards = 8;
+  FeedbackCache cache(o);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    cache.Insert(SplitMix64(k), static_cast<double>(k));
+  }
+
+  auto run = [&](uint64_t offset) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int r = 0; r < kRounds; ++r) {
+          for (uint64_t k = 0; k < kKeys; ++k) {
+            auto v = cache.Lookup(SplitMix64(k + offset));
+            if (offset == 0) {
+              ASSERT_TRUE(v.has_value());
+              ASSERT_DOUBLE_EQ(*v, static_cast<double>(k));
+            } else {
+              ASSERT_FALSE(v.has_value());
+            }
+          }
+        }
+        (void)t;
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  };
+  run(0);      // all hits
+  run(kKeys);  // all misses
+
+  const uint64_t per_phase = uint64_t{kThreads} * kRounds * kKeys;
+  FeedbackCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.hits, per_phase);
+  EXPECT_EQ(s.misses, per_phase);
+  EXPECT_EQ(s.insertions, kKeys);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, kKeys);
+}
+
+// ------------------------------------------------- incremental estimator
+
+class PrefixEstimatorTest : public ::testing::Test {
+ protected:
+  PrefixEstimatorTest()
+      : db_(BuildScoreStudentDb()),
+        stats_(DatabaseStats::Collect(db_)),
+        est_(&db_, &stats_),
+        cost_(&est_) {}
+  int score() { return db_.catalog().FindTable("Score"); }
+  int student() { return db_.catalog().FindTable("Student"); }
+
+  // Bitwise comparison on both metrics at the current prefix.
+  void ExpectMatchesFull(PrefixEstimator* inc, const SelectQuery& q) {
+    EXPECT_EQ(inc->Cardinality(q), est_.EstimateSelect(q, nullptr));
+    EXPECT_EQ(inc->Cost(q), cost_.SelectCost(q));
+  }
+
+  Database db_;
+  DatabaseStats stats_;
+  CardinalityEstimator est_;
+  CostModel cost_;
+};
+
+TEST_F(PrefixEstimatorTest, MatchesFullWalkOnGrowingQuery) {
+  PrefixEstimator inc(&est_, &cost_);
+  SelectQuery q;
+
+  // Grow the query the way the FSM does: FROM chain, then SELECT items,
+  // then WHERE predicates one at a time, then the GROUP BY tail.
+  q.tables = {score()};
+  q.items.push_back({AggFunc::kNone, {score(), 0}});
+  ExpectMatchesFull(&inc, q);
+
+  q.tables.push_back(student());
+  ExpectMatchesFull(&inc, q);
+
+  Predicate lt;
+  lt.column = {score(), 3};
+  lt.op = CompareOp::kLt;
+  lt.value = Value(80.0);
+  q.where.predicates.push_back(std::move(lt));
+  ExpectMatchesFull(&inc, q);
+
+  // Mutate the *last* predicate in place (a value token refining it).
+  q.where.predicates.back().value = Value(95.0);
+  ExpectMatchesFull(&inc, q);
+
+  Predicate sub;
+  sub.kind = PredicateKind::kInSub;
+  sub.column = {score(), 1};
+  sub.subquery = std::make_unique<SelectQuery>();
+  sub.subquery->tables = {student()};
+  sub.subquery->items.push_back({AggFunc::kNone, {student(), 0}});
+  q.where.connectors.push_back(BoolConn::kAnd);
+  q.where.predicates.push_back(std::move(sub));
+  ExpectMatchesFull(&inc, q);
+
+  q.group_by.push_back({score(), 2});
+  ExpectMatchesFull(&inc, q);
+  q.having = HavingClause{AggFunc::kCount, {score(), 3}, CompareOp::kGt,
+                          Value(int64_t{3})};
+  ExpectMatchesFull(&inc, q);
+  q.order_by.push_back({score(), 3});
+  ExpectMatchesFull(&inc, q);
+}
+
+TEST_F(PrefixEstimatorTest, ShrunkQueryTriggersDefensiveReset) {
+  PrefixEstimator inc(&est_, &cost_);
+  SelectQuery big;
+  big.tables = {score(), student()};
+  big.items.push_back({AggFunc::kNone, {score(), 0}});
+  Predicate p;
+  p.column = {score(), 3};
+  p.op = CompareOp::kGe;
+  p.value = Value(70.0);
+  big.where.predicates.push_back(std::move(p));
+  ExpectMatchesFull(&inc, big);
+
+  // A smaller query on the same instance (as after an un-Reset episode
+  // switch) must still match the full walk, not reuse the longer fold.
+  SelectQuery small;
+  small.tables = {score()};
+  small.items.push_back({AggFunc::kNone, {score(), 0}});
+  ExpectMatchesFull(&inc, small);
+}
+
+// ------------------------------------------------- training determinism
+
+// Epoch traces must be bitwise identical across all feedback plumbing
+// variants: the cache and the incremental path are pure memoization, so a
+// fixed seed must yield exactly the same rewards (tier-1 gate for the
+// cache layer).
+std::vector<double> TrainRewardTrace(FeedbackCache* cache, bool incremental,
+                                     FeedbackCache::Stats* stats_out) {
+  Database db = BuildScoreStudentDb();
+  LearnedSqlGenOptions opts;
+  opts.train_epochs = 8;
+  opts.trainer.batch_size = 4;
+  opts.vocab.values_per_column = 8;
+  opts.seed = 20220612;
+  opts.feedback_cache = cache;
+  opts.incremental_prefix_estimates = incremental;
+  auto gen = LearnedSqlGen::Create(&db, opts);
+  LSG_CHECK(gen.ok());
+  Constraint c = Constraint::Range(ConstraintMetric::kCardinality, 5, 50);
+  LSG_CHECK_OK((*gen)->Train(c));
+  std::vector<double> rewards;
+  for (const EpochStats& e : (*gen)->trace()) {
+    rewards.push_back(e.mean_total_reward);
+  }
+  if (stats_out != nullptr && cache != nullptr) *stats_out = cache->GetStats();
+  return rewards;
+}
+
+TEST(FeedbackCacheTrainingTest, CachedTrainingIsBitwiseIdentical) {
+  std::vector<double> base = TrainRewardTrace(nullptr, true, nullptr);
+  ASSERT_FALSE(base.empty());
+
+  FeedbackCache cache;
+  FeedbackCache::Stats stats;
+  std::vector<double> cached = TrainRewardTrace(&cache, true, &stats);
+  ASSERT_EQ(cached.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(cached[i], base[i]) << "epoch " << i;
+  }
+
+  // With the incremental path disabled every per-step feedback call goes
+  // through MetricOf and thus the cache; the rewards must not move.
+  FeedbackCache cache2;
+  std::vector<double> uncached_steps = TrainRewardTrace(nullptr, false, nullptr);
+  std::vector<double> cached_steps = TrainRewardTrace(&cache2, false, nullptr);
+  ASSERT_EQ(uncached_steps.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(uncached_steps[i], base[i]) << "epoch " << i;
+    EXPECT_EQ(cached_steps[i], base[i]) << "epoch " << i;
+  }
+  FeedbackCache::Stats s2 = cache2.GetStats();
+  EXPECT_GT(s2.hits + s2.misses, 0u);  // the cache actually saw traffic
+  EXPECT_GT(s2.hits, 0u);  // repeated prefixes across episodes must hit
+}
+
+}  // namespace
+}  // namespace lsg

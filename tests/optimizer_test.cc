@@ -87,6 +87,43 @@ TEST_F(StatsTest, LtSelectivityNearTruth) {
   EXPECT_NEAR(grade.LtSelectivity(Value(70.0)), 8.0 / 30.0, 0.08);
 }
 
+TEST_F(StatsTest, LtSelectivityBoundaryValues) {
+  // A uniform 0..99 column: every histogram quantity is exact, so the
+  // boundary cases pin precise values rather than tolerances.
+  Column c(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c.Append(Value(int64_t{i})).ok());
+  }
+  ColumnStats s = StatsCollector().Analyze(c);
+  ASSERT_GE(s.histogram_bounds.size(), 3u);
+
+  // x == min: nothing sorts strictly below the minimum.
+  EXPECT_DOUBLE_EQ(s.LtSelectivity(Value(0.0)), 0.0);
+
+  // x exactly on an interior bound b: the CDF is b/buckets (binary search
+  // must agree with the linear scan it replaced).
+  const double buckets = static_cast<double>(s.histogram_bounds.size() - 1);
+  for (size_t b = 1; b + 1 < s.histogram_bounds.size(); ++b) {
+    EXPECT_DOUBLE_EQ(s.LtSelectivity(Value(s.histogram_bounds[b])),
+                     static_cast<double>(b) / buckets)
+        << "bound index " << b;
+  }
+
+  // x == max: one row equals the max, so `<` must leave room for it —
+  // interpolation used to claim 1.0 here, pushing `<=` past the non-null
+  // ceiling and `>` below zero before clamping.
+  const double eq_max = s.EqSelectivity(Value(99.0));
+  EXPECT_GT(eq_max, 0.0);
+  EXPECT_DOUBLE_EQ(s.LtSelectivity(Value(99.0)), 1.0 - eq_max);
+  EXPECT_DOUBLE_EQ(s.Selectivity(CompareOp::kLe, Value(99.0)), 1.0);
+  // kGt/kGe subtract the rounded Lt result, so allow one-ulp residue.
+  EXPECT_NEAR(s.Selectivity(CompareOp::kGt, Value(99.0)), 0.0, 1e-12);
+  EXPECT_NEAR(s.Selectivity(CompareOp::kGe, Value(99.0)), eq_max, 1e-12);
+
+  // Above the max the whole non-null mass is below x.
+  EXPECT_DOUBLE_EQ(s.LtSelectivity(Value(100.0)), 1.0);
+}
+
 TEST_F(StatsTest, SelectivityOperatorAlgebra) {
   const ColumnStats& grade = stats_.at({score(), 3});
   Value v(80.0);
@@ -260,6 +297,63 @@ TEST_F(EstimatorTest, DetailStagesConsistent) {
   EXPECT_GT(d.join_output, 0.0);
   EXPECT_LE(d.after_where, d.join_output);
   EXPECT_DOUBLE_EQ(d.output_rows, out);
+}
+
+TEST_F(EstimatorTest, CrossJoinChainIsCapped) {
+  // Three tables with no join edge between them: the estimator falls back
+  // to a cross product, which must clamp at kMaxJoinRows instead of
+  // running away toward inf on long chains.
+  Database db;
+  for (const char* name : {"A", "B", "C"}) {
+    TableSchema s(name);
+    ASSERT_TRUE(s.AddColumn({"id", DataType::kInt64, false, false}).ok());
+    Table t(std::move(s));
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{1})}).ok());
+    ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+  }
+  DatabaseStats stats = DatabaseStats::Collect(db);
+  // Simulate large tables: only the row counts matter to the join fold.
+  for (uint64_t& rows : stats.table_rows) rows = 100000000;  // 1e8
+  CardinalityEstimator est(&db, &stats);
+
+  SelectQuery q;
+  q.tables = {0, 1};
+  q.items.push_back({AggFunc::kNone, {0, 0}});
+  // 1e8 * 1e8 = 1e16 exceeds the cap already at two tables.
+  EXPECT_DOUBLE_EQ(est.EstimateSelect(q, nullptr),
+                   CardinalityEstimator::kMaxJoinRows);
+  q.tables.push_back(2);
+  double three = est.EstimateSelect(q, nullptr);
+  EXPECT_TRUE(std::isfinite(three));
+  EXPECT_DOUBLE_EQ(three, CardinalityEstimator::kMaxJoinRows);
+}
+
+TEST_F(EstimatorTest, ScalarSubqueryFallbackIsOperatorDependent) {
+  // A bare string-column subquery has no estimable scalar value, so the
+  // predicate falls back to default selectivities — which must depend on
+  // the operator (= is far more selective than < which beats <>), not be
+  // a flat constant.
+  auto rows_with_op = [&](CompareOp op) {
+    SelectQuery q;
+    q.tables = {score()};
+    q.items.push_back({AggFunc::kNone, {score(), 0}});
+    Predicate p;
+    p.kind = PredicateKind::kScalarSub;
+    p.column = {score(), 3};
+    p.op = op;
+    p.subquery = std::make_unique<SelectQuery>();
+    p.subquery->tables = {student()};
+    p.subquery->items.push_back({AggFunc::kNone, {student(), 1}});  // Name
+    q.where.predicates.push_back(std::move(p));
+    return est_.EstimateSelect(q, nullptr);
+  };
+  const double eq_rows = rows_with_op(CompareOp::kEq);
+  const double lt_rows = rows_with_op(CompareOp::kLt);
+  const double ne_rows = rows_with_op(CompareOp::kNe);
+  EXPECT_LT(eq_rows, lt_rows);
+  EXPECT_LT(lt_rows, ne_rows);
+  EXPECT_DOUBLE_EQ(eq_rows, 30.0 * 0.005);
+  EXPECT_DOUBLE_EQ(ne_rows, 30.0 * (1.0 - 0.005));
 }
 
 /// Property sweep: estimates stay within a bounded q-error of the truth for
