@@ -1,0 +1,56 @@
+#include "net/admission.h"
+
+namespace lsg {
+namespace net {
+
+AdmissionController::TenantState* AdmissionController::GetTenant(
+    const std::string& tenant, uint64_t now_ns) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return &it->second;
+  if (tenants_.size() >= options_.max_tenants) {
+    // Bound memory under tenant-name floods: recycle an idle tenant's
+    // slot. A recycled tenant starts over with a full bucket, which is
+    // acceptable — the flood itself is what evicted it.
+    for (auto scan = tenants_.begin(); scan != tenants_.end(); ++scan) {
+      if (scan->second.inflight == 0) {
+        tenants_.erase(scan);
+        break;
+      }
+    }
+    if (tenants_.size() >= options_.max_tenants) return nullptr;
+  }
+  return &tenants_.emplace(tenant, TenantState(options_, now_ns))
+              .first->second;
+}
+
+NetError AdmissionController::Admit(const std::string& tenant,
+                                    uint64_t now_ns) {
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    return NetError::kOverInflight;
+  }
+  TenantState* state = GetTenant(tenant, now_ns);
+  if (state == nullptr) return NetError::kOverInflight;
+  if (options_.tenant_max_inflight > 0 &&
+      state->inflight >= options_.tenant_max_inflight) {
+    return NetError::kOverInflight;
+  }
+  if (!state->bucket.TryAcquire(now_ns)) return NetError::kOverQuota;
+  ++state->inflight;
+  ++inflight_;
+  return NetError::kNone;
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  if (it->second.inflight > 0) --it->second.inflight;
+  if (inflight_ > 0) --inflight_;
+}
+
+int AdmissionController::tenant_inflight(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.inflight;
+}
+
+}  // namespace net
+}  // namespace lsg

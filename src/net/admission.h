@@ -1,0 +1,67 @@
+#ifndef LEARNEDSQLGEN_NET_ADMISSION_H_
+#define LEARNEDSQLGEN_NET_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+#include "net/token_bucket.h"
+
+namespace lsg {
+namespace net {
+
+/// Admission-control policy knobs. Rates are per tenant; inflight caps
+/// bound requests dispatched into the service but not yet answered.
+struct AdmissionOptions {
+  double tenant_rate = 500.0;     ///< requests/second/tenant (<=0: unlimited)
+  double tenant_burst = 1000.0;   ///< bucket depth per tenant
+  int tenant_max_inflight = 64;   ///< per-tenant in-flight cap (<=0: unlimited)
+  int max_inflight = 256;         ///< global in-flight cap (<=0: unlimited)
+  size_t max_tenants = 4096;      ///< bound on tracked tenant states
+};
+
+/// Per-tenant token-bucket quotas plus in-flight caps, owned and driven by
+/// the single-threaded event loop (no internal locking). Admit() charges
+/// the tenant's bucket and takes an in-flight slot; Release() returns the
+/// slot when the response is written (or the request times out). The
+/// bucket token is intentionally not refunded on rejection further down
+/// the pipeline (queue-full): a rejected request still consumed protocol
+/// work, and refunding would let a flooding client retry at full rate.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  /// Admission verdict for one request from `tenant` at `now_ns`.
+  /// kNone = admitted (caller owes a Release), kOverQuota, kOverInflight.
+  NetError Admit(const std::string& tenant, uint64_t now_ns);
+
+  /// Returns the in-flight slot taken by a successful Admit.
+  void Release(const std::string& tenant);
+
+  int inflight() const { return inflight_; }
+  int tenant_inflight(const std::string& tenant) const;
+  size_t tracked_tenants() const { return tenants_.size(); }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct TenantState {
+    TenantState(const AdmissionOptions& o, uint64_t now_ns)
+        : bucket(o.tenant_rate, o.tenant_burst, now_ns) {}
+    TokenBucket bucket;
+    int inflight = 0;
+  };
+
+  TenantState* GetTenant(const std::string& tenant, uint64_t now_ns);
+
+  AdmissionOptions options_;
+  std::map<std::string, TenantState> tenants_;
+  int inflight_ = 0;
+};
+
+}  // namespace net
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NET_ADMISSION_H_

@@ -1,0 +1,47 @@
+#ifndef LEARNEDSQLGEN_NET_EVENT_LOOP_H_
+#define LEARNEDSQLGEN_NET_EVENT_LOOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsg {
+namespace net {
+
+/// One readiness event from Poller::Wait.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< EPOLLERR/EPOLLHUP-class condition
+};
+
+/// Readiness-notification backend for the single-threaded event loop:
+/// level-triggered epoll on Linux, poll(2) everywhere (and on Linux with
+/// force_poll, which the tests use to cover both backends). The interface
+/// is the intersection the server needs — add/re-arm/remove one fd and
+/// wait — not a general reactor.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  virtual Status Add(int fd, bool want_read, bool want_write) = 0;
+  virtual Status Mod(int fd, bool want_read, bool want_write) = 0;
+  virtual void Del(int fd) = 0;
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) and appends ready fds to
+  /// `out` (cleared first). Returns the number of events, 0 on timeout.
+  virtual StatusOr<int> Wait(int timeout_ms, std::vector<PollEvent>* out) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Best available backend (epoll when compiled on Linux, else poll);
+  /// `force_poll` selects the portable backend unconditionally.
+  static std::unique_ptr<Poller> Create(bool force_poll);
+};
+
+}  // namespace net
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NET_EVENT_LOOP_H_

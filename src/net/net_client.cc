@@ -1,0 +1,485 @@
+#include "net/net_client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace lsg {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SetTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_), rdbuf_(std::move(other.rdbuf_)) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rdbuf_ = std::move(other.rdbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<BlockingClient> BlockingClient::Connect(const std::string& host,
+                                                 int port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrFormat("bad host \"%s\"", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  SetTimeout(fd, timeout_ms);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  BlockingClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status BlockingClient::Send(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+Status BlockingClient::SendLine(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  return Send(framed);
+}
+
+StatusOr<std::string> BlockingClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    size_t nl = rdbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rdbuf_.substr(0, nl);
+      rdbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[8192];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rdbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::FailedPrecondition("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::OutOfRange("read timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+StatusOr<obs::JsonValue> BlockingClient::Call(std::string_view request_line) {
+  LSG_RETURN_IF_ERROR(SendLine(request_line));
+  LSG_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  return obs::JsonParse(line);
+}
+
+void BlockingClient::CloseWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rdbuf_.clear();
+}
+
+std::string BuildRequestLine(std::string_view tenant, uint64_t id,
+                             std::string_view constraint_json, int count,
+                             bool batch) {
+  return StrFormat(
+      "{\"tenant\": \"%.*s\", \"id\": %llu, \"count\": %d, "
+      "\"batch\": %s, \"constraint\": %.*s}",
+      static_cast<int>(tenant.size()), tenant.data(),
+      static_cast<unsigned long long>(id), count, batch ? "true" : "false",
+      static_cast<int>(constraint_json.size()), constraint_json.data());
+}
+
+std::string LoadDriverReport::ToString() const {
+  std::string out = StrFormat(
+      "{\"sent\": %llu, \"ok\": %llu, \"errors\": %llu, "
+      "\"wall_seconds\": %.3f, \"req_per_second\": %.1f, "
+      "\"p50_ms\": %.3f, \"p99_ms\": %.3f",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(errors), wall_seconds, req_per_second,
+      p50_ms, p99_ms);
+  for (const auto& [code, n] : errors_by_code) {
+    out += StrFormat(", \"error.%s\": %llu", code.c_str(),
+                     static_cast<unsigned long long>(n));
+  }
+  out += "}";
+  return out;
+}
+
+StatusOr<LoadDriverReport> RunLoadDriver(const LoadDriverOptions& options) {
+  if (options.connections <= 0 || options.requests_per_connection <= 0) {
+    return Status::InvalidArgument("load driver needs positive counts");
+  }
+  const int depth = std::max(1, options.pipeline_depth);
+
+  LoadDriverReport report;
+  std::vector<double> latencies_ms;
+  std::mutex mu;
+  Status first_error = Status::Ok();
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+
+  Stopwatch wall;
+  for (int c = 0; c < options.connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client =
+          BlockingClient::Connect(options.host, options.port,
+                                  options.timeout_ms);
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = client.status();
+        return;
+      }
+      std::string tenant =
+          options.tenants > 1
+              ? StrFormat("%s-%d", options.tenant.c_str(),
+                          c % options.tenants)
+              : options.tenant;
+      std::map<uint64_t, uint64_t> sent_ns;  // id -> send timestamp
+      uint64_t local_sent = 0, local_ok = 0, local_errors = 0;
+      std::map<std::string, uint64_t> local_codes;
+      std::vector<double> local_lat;
+      int inflight = 0;
+      Status st = Status::Ok();
+
+      auto read_one = [&]() {
+        auto line = client->ReadLine();
+        if (!line.ok()) {
+          st = line.status();
+          return false;
+        }
+        auto doc = obs::JsonParse(*line);
+        if (!doc.ok() || !doc->is_object()) {
+          st = Status::Internal(
+              StrFormat("unparseable response: %s", line->c_str()));
+          return false;
+        }
+        uint64_t id = static_cast<uint64_t>(doc->NumberOr("id", 0));
+        auto it = sent_ns.find(id);
+        if (it != sent_ns.end()) {
+          local_lat.push_back(
+              static_cast<double>(Stopwatch::NowNanos() - it->second) / 1e6);
+          sent_ns.erase(it);
+        }
+        if (doc->NumberOr("ok", 0) == 1.0) {
+          ++local_ok;
+        } else {
+          ++local_errors;
+          ++local_codes[doc->StringOr("error", "unknown")];
+        }
+        --inflight;
+        return true;
+      };
+
+      for (int i = 0; i < options.requests_per_connection && st.ok(); ++i) {
+        uint64_t id = static_cast<uint64_t>(c) * 1000000ull +
+                      static_cast<uint64_t>(i) + 1;
+        std::string line =
+            options.ping_only
+                ? StrFormat("{\"op\": \"ping\", \"id\": %llu}",
+                            static_cast<unsigned long long>(id))
+                : BuildRequestLine(tenant, id, options.constraint_json,
+                                   options.count, false);
+        sent_ns[id] = Stopwatch::NowNanos();
+        st = client->SendLine(line);
+        if (!st.ok()) break;
+        ++local_sent;
+        ++inflight;
+        while (inflight >= depth && st.ok()) {
+          if (!read_one()) break;
+        }
+      }
+      while (st.ok() && inflight > 0) {
+        if (!read_one()) break;
+      }
+
+      std::lock_guard<std::mutex> lock(mu);
+      report.sent += local_sent;
+      report.ok += local_ok;
+      report.errors += local_errors;
+      for (const auto& [code, n] : local_codes) {
+        report.errors_by_code[code] += n;
+      }
+      latencies_ms.insert(latencies_ms.end(), local_lat.begin(),
+                          local_lat.end());
+      if (!st.ok() && first_error.ok()) first_error = st;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  report.wall_seconds = wall.ElapsedSeconds();
+  if (!first_error.ok()) return first_error;
+
+  if (report.sent != report.ok + report.errors) {
+    return Status::Internal(
+        StrFormat("response accounting mismatch: sent %llu, answered %llu",
+                  static_cast<unsigned long long>(report.sent),
+                  static_cast<unsigned long long>(report.ok + report.errors)));
+  }
+  report.req_per_second =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.sent) / report.wall_seconds
+          : 0.0;
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto at = [&](double q) {
+      size_t i = static_cast<size_t>(q * (latencies_ms.size() - 1));
+      return latencies_ms[i];
+    };
+    report.p50_ms = at(0.5);
+    report.p99_ms = at(0.99);
+  }
+  return report;
+}
+
+std::string NetFuzzReport::ToString() const {
+  return StrFormat(
+      "{\"connections\": %llu, \"frames_sent\": %llu, "
+      "\"well_formed_sent\": %llu, \"responses\": %llu, "
+      "\"parse_failures\": %llu, \"early_disconnects\": %llu}",
+      static_cast<unsigned long long>(connections),
+      static_cast<unsigned long long>(frames_sent),
+      static_cast<unsigned long long>(well_formed_sent),
+      static_cast<unsigned long long>(responses),
+      static_cast<unsigned long long>(parse_failures),
+      static_cast<unsigned long long>(early_disconnects));
+}
+
+namespace {
+
+// One misbehaving-client thread of the protocol fuzzer.
+struct FuzzWorker {
+  const NetFuzzOptions* options;
+  Rng rng;
+  NetFuzzReport report;
+  Status status = Status::Ok();
+
+  void Run() {
+    for (int round = 0; round < options->rounds && status.ok(); ++round) {
+      RunRound();
+      // Liveness gate: the server must still answer a clean ping.
+      auto probe = BlockingClient::Connect(options->host, options->port,
+                                           10000);
+      if (!probe.ok()) {
+        status = Status::Internal(
+            StrFormat("server unreachable after round %d: %s", round,
+                      probe.status().ToString().c_str()));
+        return;
+      }
+      auto pong = probe->Call("{\"op\": \"ping\", \"id\": 99}");
+      if (!pong.ok() || pong->NumberOr("pong", 0) != 1.0) {
+        status = Status::Internal(
+            StrFormat("ping failed after round %d", round));
+        return;
+      }
+    }
+  }
+
+  void RunRound() {
+    auto client = BlockingClient::Connect(options->host, options->port, 5000);
+    if (!client.ok()) return;  // transient refusal (conn cap) is legal
+    ++report.connections;
+    int frames = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < frames; ++f) {
+      switch (rng.Uniform(9)) {
+        case 0: {  // valid cheap request (range constraint, cache-friendly)
+          SendTracked(&*client,
+                      BuildRequestLine("fuzz", rng.Next() % 1000,
+                                       "{\"metric\": \"card\", \"kind\": "
+                                       "\"range\", \"lo\": 1, \"hi\": 100000}",
+                                       1, false),
+                      /*well_formed=*/true);
+          break;
+        }
+        case 1:
+          SendTracked(&*client, "{\"op\": \"ping\", \"id\": 1}", true);
+          break;
+        case 2:  // malformed JSON
+          SendTracked(&*client, "{\"tenant\": \"x\", \"count\": ", false);
+          break;
+        case 3: {  // binary garbage
+          std::string junk;
+          size_t len = 1 + rng.Uniform(512);
+          for (size_t i = 0; i < len; ++i) {
+            char c = static_cast<char>(rng.Uniform(256));
+            if (c == '\n') c = ' ';
+            junk += c;
+          }
+          SendTracked(&*client, junk, false);
+          break;
+        }
+        case 4: {  // oversized line
+          std::string big(options->max_frame_bytes + 128, 'x');
+          SendTracked(&*client, big, false);
+          break;
+        }
+        case 5: {  // deep nesting (parser recursion guard)
+          std::string deep;
+          size_t depth = 16 + rng.Uniform(512);
+          deep.append(depth, '[');
+          deep.append(depth, ']');
+          SendTracked(&*client, deep, false);
+          break;
+        }
+        case 6: {  // slow-loris: one valid frame in dribbled chunks
+          std::string line = "{\"op\": \"ping\", \"id\": 6}\n";
+          for (size_t off = 0; off < line.size();) {
+            size_t chunk = 1 + rng.Uniform(5);
+            chunk = std::min(chunk, line.size() - off);
+            if (!client->Send(std::string_view(line).substr(off, chunk))
+                     .ok()) {
+              break;
+            }
+            off += chunk;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(rng.Uniform(3)));
+          }
+          ++report.frames_sent;
+          ++report.well_formed_sent;
+          break;
+        }
+        case 7: {  // mid-request disconnect
+          (void)client->Send("{\"tenant\": \"half");
+          client->Close();
+          ++report.early_disconnects;
+          return;
+        }
+        default:  // empty lines and CRLF noise
+          (void)client->Send("\r\n\n\r\n");
+          break;
+      }
+    }
+    DrainResponses(&*client);
+  }
+
+  void SendTracked(BlockingClient* client, std::string_view line,
+                   bool well_formed) {
+    if (!client->SendLine(line).ok()) return;
+    ++report.frames_sent;
+    if (well_formed) ++report.well_formed_sent;
+  }
+
+  // Reads whatever the server sent back; every line must parse as JSON.
+  void DrainResponses(BlockingClient* client) {
+    client->CloseWrite();
+    while (true) {
+      auto line = client->ReadLine();
+      if (!line.ok()) break;  // EOF or timeout ends the round
+      ++report.responses;
+      auto doc = obs::JsonParse(*line);
+      if (!doc.ok() || !doc->is_object() || doc->Find("ok") == nullptr) {
+        ++report.parse_failures;
+        if (status.ok()) {
+          status = Status::Internal(
+              StrFormat("unparseable server response: %.120s",
+                        line->c_str()));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<NetFuzzReport> FuzzNetProtocol(const NetFuzzOptions& options) {
+  std::vector<FuzzWorker> workers(
+      static_cast<size_t>(std::max(1, options.clients)));
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    workers[i].options = &options;
+    workers[i].rng = Rng(SplitMix64(options.seed + i));
+    threads.emplace_back([w = &workers[i]] { w->Run(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  NetFuzzReport total;
+  for (const FuzzWorker& w : workers) {
+    if (!w.status.ok()) return w.status;
+    total.connections += w.report.connections;
+    total.frames_sent += w.report.frames_sent;
+    total.well_formed_sent += w.report.well_formed_sent;
+    total.responses += w.report.responses;
+    total.parse_failures += w.report.parse_failures;
+    total.early_disconnects += w.report.early_disconnects;
+  }
+  if (total.parse_failures != 0) {
+    return Status::Internal(
+        StrFormat("%llu unparseable response line(s)",
+                  static_cast<unsigned long long>(total.parse_failures)));
+  }
+  return total;
+}
+
+}  // namespace net
+}  // namespace lsg

@@ -1,0 +1,131 @@
+#ifndef LEARNEDSQLGEN_NET_NET_CLIENT_H_
+#define LEARNEDSQLGEN_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace lsg {
+namespace net {
+
+/// Small blocking TCP client for the lsgserved line protocol, used by
+/// lsgclient, the loopback tests, the load driver and the protocol
+/// fuzzer. Not thread-safe; one instance per connection.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to host:port; `timeout_ms` bounds reads (and writes where
+  /// the platform honors SO_SNDTIMEO).
+  static StatusOr<BlockingClient> Connect(const std::string& host, int port,
+                                          int timeout_ms = 30000);
+
+  /// Sends raw bytes (no framing added).
+  Status Send(std::string_view data);
+  /// Sends one frame: `line` + '\n'.
+  Status SendLine(std::string_view line);
+  /// Reads one LF-terminated line (LF stripped). Times out per Connect.
+  StatusOr<std::string> ReadLine();
+  /// SendLine + ReadLine + JSON-parse, the common request/response round.
+  StatusOr<obs::JsonValue> Call(std::string_view request_line);
+
+  /// Half-close: no more writes (server sees EOF after its responses).
+  void CloseWrite();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string rdbuf_;
+};
+
+/// Builds a generation request line for tenant/constraint shorthand used
+/// by lsgclient and the load driver. `constraint_json` must be the JSON
+/// object for the "constraint" member.
+std::string BuildRequestLine(std::string_view tenant, uint64_t id,
+                             std::string_view constraint_json, int count,
+                             bool batch);
+
+struct LoadDriverOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int requests_per_connection = 100;
+  int pipeline_depth = 1;  ///< frames in flight per connection
+  bool ping_only = false;  ///< measure pure protocol overhead, skip service
+  std::string tenant = "bench";
+  int tenants = 1;  ///< >1 spreads load over tenant-0..tenant-{n-1}
+  std::string constraint_json =
+      "{\"metric\": \"card\", \"kind\": \"range\", \"lo\": 1, "
+      "\"hi\": 1000000}";
+  int count = 1;  ///< queries per generation request
+  int timeout_ms = 120000;
+};
+
+struct LoadDriverReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  std::map<std::string, uint64_t> errors_by_code;
+  double wall_seconds = 0.0;
+  double req_per_second = 0.0;
+  double p50_ms = 0.0;  ///< client-observed round-trip latency
+  double p99_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Concurrent loopback load driver: `connections` client threads each
+/// send `requests_per_connection` requests (pipelined up to
+/// pipeline_depth) and verify every frame gets exactly one parseable
+/// response. Errors (over_quota, queue_full, ...) are tallied, not
+/// failures — the structured-error path is part of what's being driven.
+StatusOr<LoadDriverReport> RunLoadDriver(const LoadDriverOptions& options);
+
+struct NetFuzzOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  uint64_t seed = 7;
+  int rounds = 64;    ///< connection lifecycles per client thread
+  int clients = 4;    ///< concurrent misbehaving clients
+  size_t max_frame_bytes = 64 * 1024;  ///< must match the server's cap
+  bool verbose = false;
+};
+
+struct NetFuzzReport {
+  uint64_t connections = 0;
+  uint64_t frames_sent = 0;
+  uint64_t well_formed_sent = 0;
+  uint64_t responses = 0;
+  uint64_t parse_failures = 0;   ///< response lines that were not JSON
+  uint64_t early_disconnects = 0;
+
+  std::string ToString() const;
+};
+
+/// Randomized protocol fuzzer: each client round picks among valid
+/// requests, malformed JSON, binary garbage, oversized lines, deeply
+/// nested documents, split (slow-loris) writes and mid-request
+/// disconnects. Invariants checked (Internal status on violation):
+///   - every response line the server sends parses as a JSON object with
+///     an "ok" member
+///   - the server survives: a fresh connection's ping gets a pong after
+///     every round
+/// Run it against an ASan/TSan build to turn memory bugs into failures.
+StatusOr<NetFuzzReport> FuzzNetProtocol(const NetFuzzOptions& options);
+
+}  // namespace net
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NET_NET_CLIENT_H_

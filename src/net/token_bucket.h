@@ -1,0 +1,62 @@
+#ifndef LEARNEDSQLGEN_NET_TOKEN_BUCKET_H_
+#define LEARNEDSQLGEN_NET_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace lsg {
+namespace net {
+
+/// Classic token bucket: refills at `rate` tokens per second up to a cap
+/// of `burst`, one TryAcquire per admitted request. Time is an explicit
+/// monotonic nanosecond argument (Stopwatch::NowNanos in production, a
+/// hand-advanced counter in tests) so the quota math is exactly unit
+/// testable. Single-threaded by design: lsgserved's event loop owns all
+/// buckets, so no atomics are needed.
+class TokenBucket {
+ public:
+  /// `rate` <= 0 disables the bucket (every acquire succeeds).
+  TokenBucket(double rate, double burst, uint64_t now_ns)
+      : rate_(rate),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)),
+        last_ns_(now_ns) {}
+
+  /// Takes `cost` tokens if available. Refill is computed lazily from the
+  /// elapsed time since the previous call, so idle tenants pay nothing.
+  bool TryAcquire(uint64_t now_ns, double cost = 1.0) {
+    if (rate_ <= 0.0) return true;
+    Refill(now_ns);
+    if (tokens_ + 1e-9 < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Current token count after refilling to `now_ns` (diagnostics).
+  double Peek(uint64_t now_ns) {
+    if (rate_ <= 0.0) return burst_;
+    Refill(now_ns);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(uint64_t now_ns) {
+    if (now_ns <= last_ns_) return;  // monotonic clock should prevent this
+    double elapsed_s = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+    last_ns_ = now_ns;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  uint64_t last_ns_;
+};
+
+}  // namespace net
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_NET_TOKEN_BUCKET_H_

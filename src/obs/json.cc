@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -71,8 +72,13 @@ class Parser {
     SkipSpace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kJsonMaxDepth) return Error("nesting too deep");
+      ++depth_;
+      auto v = c == '{' ? ParseObject() : ParseArray();
+      --depth_;
+      return v;
+    }
     if (c == '"') return ParseString();
     if (c == 't' || c == 'f') return ParseBool();
     if (c == 'n') return ParseNull();
@@ -130,9 +136,32 @@ class Parser {
           case 'n': out.str += '\n'; break;
           case 't': out.str += '\t'; break;
           case 'r': out.str += '\r'; break;
+          case 'b': out.str += '\b'; break;
+          case 'f': out.str += '\f'; break;
           case '"': out.str += '"'; break;
           case '\\': out.str += '\\'; break;
           case '/': out.str += '/'; break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!ParseHex4(&cp)) return Error("malformed \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              uint32_t lo = 0;
+              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate");
+              }
+              pos_ += 2;
+              if (!ParseHex4(&lo) || lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("unpaired high surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired low surrogate");
+            }
+            AppendUtf8(cp, &out.str);
+            break;
+          }
           default: return Error("unsupported escape");
         }
       } else {
@@ -142,6 +171,45 @@ class Parser {
     if (pos_ >= text_.size()) return Error("unterminated string");
     ++pos_;  // closing quote
     return out;
+  }
+
+  bool ParseHex4(uint32_t* out_cp) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_ + i];
+      v <<= 4;
+      if (h >= '0' && h <= '9') {
+        v |= static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        v |= static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        v |= static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out_cp = v;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
   }
 
   StatusOr<JsonValue> ParseBool() {
@@ -190,6 +258,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

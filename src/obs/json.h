@@ -12,10 +12,13 @@
 namespace lsg {
 namespace obs {
 
-/// Minimal JSON document model for the observability tooling: enough to
-/// read back the artifacts this subsystem writes (flat metric snapshots,
-/// JSONL episode rows, Chrome trace_event files) — not a general parser.
-/// Numbers are doubles; no \uXXXX escapes (our writers never emit them).
+/// Minimal JSON document model shared by the observability tooling and the
+/// network protocol: enough to read back the artifacts this subsystem
+/// writes (flat metric snapshots, JSONL episode rows, Chrome trace_event
+/// files) and to parse untrusted request frames. Numbers are doubles.
+/// Strings support the full escape set including \uXXXX (with surrogate
+/// pairs, decoded to UTF-8); nesting is bounded (kJsonMaxDepth) so
+/// adversarial input cannot overflow the parser's recursion.
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
   Kind kind = Kind::kNull;
@@ -37,6 +40,10 @@ struct JsonValue {
   /// Member's string, or `fallback` when absent / not a string.
   std::string StringOr(std::string_view key, std::string_view fallback) const;
 };
+
+/// Maximum object/array nesting JsonParse accepts before reporting an
+/// InvalidArgument (guards recursion depth on untrusted input).
+inline constexpr int kJsonMaxDepth = 128;
 
 /// Parses one JSON document (trailing whitespace allowed, trailing garbage
 /// is an error).

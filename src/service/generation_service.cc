@@ -71,6 +71,7 @@ std::future<GenerationResponse> GenerationService::Submit(
   std::future<GenerationResponse> future = job.promise.get_future();
   if (!queue_.Push(std::move(job))) {
     metrics_.requests_rejected.Inc();
+    metrics_.requests_rejected_shutdown.Inc();
     return RejectedFuture(
         id, Status::FailedPrecondition("service is shut down"));
   }
@@ -85,8 +86,15 @@ StatusOr<std::future<GenerationResponse>> GenerationService::TrySubmit(
   std::future<GenerationResponse> future = job.promise.get_future();
   if (!queue_.TryPush(std::move(job))) {
     metrics_.requests_rejected.Inc();
-    return Status::FailedPrecondition(
-        queue_.closed() ? "service is shut down" : "request queue is full");
+    // Shut-down (terminal, FailedPrecondition) and backpressure (retryable,
+    // ResourceExhausted) are distinct codes so callers — the network front
+    // end in particular — can map them to different protocol errors.
+    if (queue_.closed()) {
+      metrics_.requests_rejected_shutdown.Inc();
+      return Status::FailedPrecondition("service is shut down");
+    }
+    metrics_.requests_rejected_queue_full.Inc();
+    return Status::ResourceExhausted("request queue is full");
   }
   return future;
 }

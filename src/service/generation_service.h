@@ -82,8 +82,9 @@ class GenerationService {
   /// status, or FailedPrecondition if the service shut down first.
   std::future<GenerationResponse> Submit(GenerationRequest request);
 
-  /// Fail-fast variant: returns FailedPrecondition immediately when the
-  /// queue is full or the service is shut down.
+  /// Fail-fast variant: returns ResourceExhausted immediately when the
+  /// queue is full (retryable backpressure) and FailedPrecondition when
+  /// the service is shut down (terminal).
   StatusOr<std::future<GenerationResponse>> TrySubmit(
       GenerationRequest request);
 

@@ -21,6 +21,10 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* registry)
     : registry_(ResolveRegistry(registry, owned_registry_)),
       requests_submitted(registry_->GetCounter("service.requests_submitted")),
       requests_rejected(registry_->GetCounter("service.requests_rejected")),
+      requests_rejected_queue_full(
+          registry_->GetCounter("service.requests_rejected_queue_full")),
+      requests_rejected_shutdown(
+          registry_->GetCounter("service.requests_rejected_shutdown")),
       requests_completed(registry_->GetCounter("service.requests_completed")),
       requests_failed(registry_->GetCounter("service.requests_failed")),
       cache_hits(registry_->GetCounter("service.cache_hits")),
@@ -43,6 +47,8 @@ ServiceMetricsSnapshot ServiceMetrics::Snapshot() const {
   ServiceMetricsSnapshot s;
   s.requests_submitted = requests_submitted.Value();
   s.requests_rejected = requests_rejected.Value();
+  s.requests_rejected_queue_full = requests_rejected_queue_full.Value();
+  s.requests_rejected_shutdown = requests_rejected_shutdown.Value();
   s.requests_completed = requests_completed.Value();
   s.requests_failed = requests_failed.Value();
   s.cache_hits = cache_hits.Value();
@@ -69,6 +75,8 @@ std::string ServiceMetricsSnapshot::ToJson() const {
   };
   add_u64("requests_submitted", requests_submitted);
   add_u64("requests_rejected", requests_rejected);
+  add_u64("requests_rejected_queue_full", requests_rejected_queue_full);
+  add_u64("requests_rejected_shutdown", requests_rejected_shutdown);
   add_u64("requests_completed", requests_completed);
   add_u64("requests_failed", requests_failed);
   add_u64("cache_hits", cache_hits);

@@ -15,6 +15,11 @@ namespace lsg {
 struct ServiceMetricsSnapshot {
   uint64_t requests_submitted = 0;
   uint64_t requests_rejected = 0;  ///< backpressure fail-fast + post-shutdown
+  /// Rejections split by reason, so admission-control dashboards can tell
+  /// backpressure (queue_full, retryable) from drain (shutdown, terminal).
+  /// Invariant: rejected == rejected_queue_full + rejected_shutdown.
+  uint64_t requests_rejected_queue_full = 0;
+  uint64_t requests_rejected_shutdown = 0;
   uint64_t requests_completed = 0;
   uint64_t requests_failed = 0;
 
@@ -88,6 +93,8 @@ class ServiceMetrics {
 
   obs::Counter& requests_submitted;
   obs::Counter& requests_rejected;
+  obs::Counter& requests_rejected_queue_full;
+  obs::Counter& requests_rejected_shutdown;
   obs::Counter& requests_completed;
   obs::Counter& requests_failed;
   obs::Counter& cache_hits;

@@ -40,8 +40,9 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
       Status::InvalidArgument("").code(), Status::NotFound("").code(),
       Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
       Status::FailedPrecondition("").code(),
-      Status::Unimplemented("").code(),   Status::Internal("").code()};
-  EXPECT_EQ(codes.size(), 7u);
+      Status::Unimplemented("").code(),   Status::Internal("").code(),
+      Status::ResourceExhausted("").code()};
+  EXPECT_EQ(codes.size(), 8u);
 }
 
 TEST(StatusTest, Equality) {

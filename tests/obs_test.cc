@@ -354,6 +354,40 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(JsonParse("").ok());
 }
 
+TEST(JsonTest, DecodesEscapesIncludingUnicode) {
+  auto v = JsonParse(R"({"a": "tab\there", "b": "\b\f", "c": "A\u00e9",
+                         "d": "\u20ac", "e": "\ud83d\ude00"})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->StringOr("a", ""), "tab\there");
+  EXPECT_EQ(v->StringOr("b", ""), "\b\f");
+  EXPECT_EQ(v->StringOr("c", ""), "A\xc3\xa9");          // A, é (2-byte UTF-8)
+  EXPECT_EQ(v->StringOr("d", ""), "\xe2\x82\xac");       // € (3-byte UTF-8)
+  EXPECT_EQ(v->StringOr("e", ""), "\xf0\x9f\x98\x80");   // 😀 surrogate pair
+}
+
+TEST(JsonTest, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(JsonParse(R"(["\u12"])").ok());       // truncated hex
+  EXPECT_FALSE(JsonParse(R"(["\u12xz"])").ok());     // non-hex digits
+  EXPECT_FALSE(JsonParse(R"(["\ud83d"])").ok());     // unpaired high surrogate
+  EXPECT_FALSE(JsonParse(R"(["\ud83dA"])").ok());  // bad low surrogate
+  EXPECT_FALSE(JsonParse(R"(["\ude00"])").ok());     // lone low surrogate
+}
+
+TEST(JsonTest, BoundsNestingDepth) {
+  // Depth exactly at the cap parses; one deeper is rejected — gracefully,
+  // not by exhausting the call stack (the net fuzzer sends 64KB of '[').
+  std::string ok_doc(kJsonMaxDepth, '[');
+  ok_doc.append(kJsonMaxDepth, ']');
+  EXPECT_TRUE(JsonParse(ok_doc).ok());
+
+  std::string deep(kJsonMaxDepth + 1, '[');
+  deep.append(kJsonMaxDepth + 1, ']');
+  EXPECT_FALSE(JsonParse(deep).ok());
+
+  std::string huge(60000, '[');
+  EXPECT_FALSE(JsonParse(huge).ok());
+}
+
 TEST(JsonTest, FlattensTopLevelNumbers) {
   auto v = JsonParse(R"({"a": 2, "b": true, "c": "skip", "d": {"x": 1}})");
   ASSERT_TRUE(v.ok());

@@ -327,6 +327,55 @@ TEST_F(ServiceTest, ShutdownDrainsPendingRequests) {
   EXPECT_EQ((*service)->Metrics().requests_rejected, 1u);
 }
 
+TEST_F(ServiceTest, TrySubmitSplitsRejectionCountersByReason) {
+  auto opts = ServiceOptions(1);
+  opts.queue_capacity = 1;  // one slot + one busy worker => quick overflow
+  auto service = GenerationService::Create(&db_, opts);
+  ASSERT_TRUE(service.ok());
+
+  auto make_request = [this](uint64_t id) {
+    GenerationRequest req;
+    req.constraint = CardRange(5, 50);
+    req.n = 1;
+    req.batch = true;
+    req.id = id;
+    return req;
+  };
+
+  // Keep submitting until backpressure bites: with a single worker stuck
+  // training the first request's model, the one-slot queue fills fast.
+  std::vector<std::future<GenerationResponse>> accepted;
+  bool saw_queue_full = false;
+  for (uint64_t id = 1; id <= 64 && !saw_queue_full; ++id) {
+    auto submitted = (*service)->TrySubmit(make_request(id));
+    if (submitted.ok()) {
+      accepted.push_back(std::move(*submitted));
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+      saw_queue_full = true;
+    }
+  }
+  ASSERT_TRUE(saw_queue_full);  // 64 submits never outran a model training
+  ServiceMetricsSnapshot mid = (*service)->Metrics();
+  EXPECT_GE(mid.requests_rejected_queue_full, 1u);
+  EXPECT_EQ(mid.requests_rejected_shutdown, 0u);
+
+  (*service)->Shutdown();
+  for (auto& f : accepted) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+
+  // Post-shutdown TrySubmit is a terminal rejection, tallied separately.
+  auto late = (*service)->TrySubmit(make_request(99));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+
+  ServiceMetricsSnapshot m = (*service)->Metrics();
+  EXPECT_EQ(m.requests_rejected_shutdown, 1u);
+  EXPECT_EQ(m.requests_rejected,
+            m.requests_rejected_queue_full + m.requests_rejected_shutdown);
+}
+
 TEST_F(ServiceTest, InvalidRequestFailsWithoutPoisoningTheService) {
   auto service = GenerationService::Create(&db_, ServiceOptions(2));
   ASSERT_TRUE(service.ok());

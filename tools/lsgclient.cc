@@ -1,0 +1,199 @@
+// lsgclient — command-line client for a running lsgserved: sends one
+// generation request (or a ping), prints the JSON response, exits 0 iff
+// the response carried "ok": true. Also fronts the loopback load driver
+// and the protocol fuzzer so both can target a remote daemon.
+//
+// Examples:
+//   lsgclient --port 7433 --ping
+//   lsgclient --port 7433 --tenant alice --metric card --range 100 900 -n 5
+//   lsgclient --port 7433 --load --connections 64 --requests 200 --ping-only
+//   lsgclient --port 7433 --fuzz --rounds 32 --clients 4
+//
+// The raw protocol is one JSON object per LF-terminated line; --raw sends
+// an arbitrary frame verbatim for scripting and debugging.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "net/net_client.h"
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "lsgclient — client for the lsgserved line protocol\n\n"
+      "connection:\n"
+      "  --host H            server address (default 127.0.0.1)\n"
+      "  --port P            server port (default 7433)\n"
+      "  --timeout-ms T      read timeout (default 120000)\n"
+      "request (default mode):\n"
+      "  --tenant NAME       tenant for admission control (default cli)\n"
+      "  --metric card|cost  constraint metric (default card)\n"
+      "  --point V | --range LO HI   constraint (default range 1 1e6)\n"
+      "  -n N                satisfying queries to request (default 5)\n"
+      "  --batch             exactly N attempts instead of N satisfied\n"
+      "  --ping              liveness probe instead of a generation\n"
+      "  --raw FRAME         send FRAME verbatim, print one response line\n"
+      "load driver (--load):\n"
+      "  --connections N --requests N --pipeline N --tenants N --ping-only\n"
+      "fuzzer (--fuzz):\n"
+      "  --rounds N --clients N --seed S\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lsg;
+
+  std::string host = "127.0.0.1", tenant = "cli", metric = "card", raw;
+  int port = 7433, n = 5, timeout_ms = 120000;
+  bool batch = false, ping = false, load = false, fuzz = false;
+  bool have_point = false, have_range = false;
+  double point = 0, lo = 1, hi = 1e6;
+  int connections = 8, requests = 100, pipeline = 4, tenants = 1;
+  bool ping_only = false;
+  int rounds = 32, clients = 4;
+  uint64_t seed = 7;
+
+  auto need_value = [&](int i) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      Usage();
+      return 0;
+    } else if (a == "--host") {
+      host = need_value(i++);
+    } else if (a == "--port") {
+      port = std::atoi(need_value(i++));
+    } else if (a == "--timeout-ms") {
+      timeout_ms = std::atoi(need_value(i++));
+    } else if (a == "--tenant") {
+      tenant = need_value(i++);
+    } else if (a == "--metric") {
+      metric = need_value(i++);
+    } else if (a == "--point") {
+      point = std::atof(need_value(i++));
+      have_point = true;
+    } else if (a == "--range") {
+      lo = std::atof(need_value(i++));
+      hi = std::atof(need_value(i++));
+      have_range = true;
+    } else if (a == "-n") {
+      n = std::atoi(need_value(i++));
+    } else if (a == "--batch") {
+      batch = true;
+    } else if (a == "--ping") {
+      ping = true;
+    } else if (a == "--raw") {
+      raw = need_value(i++);
+    } else if (a == "--load") {
+      load = true;
+    } else if (a == "--fuzz") {
+      fuzz = true;
+    } else if (a == "--connections") {
+      connections = std::atoi(need_value(i++));
+    } else if (a == "--requests") {
+      requests = std::atoi(need_value(i++));
+    } else if (a == "--pipeline") {
+      pipeline = std::atoi(need_value(i++));
+    } else if (a == "--tenants") {
+      tenants = std::atoi(need_value(i++));
+    } else if (a == "--ping-only") {
+      ping_only = true;
+    } else if (a == "--rounds") {
+      rounds = std::atoi(need_value(i++));
+    } else if (a == "--clients") {
+      clients = std::atoi(need_value(i++));
+    } else if (a == "--seed") {
+      seed = std::strtoull(need_value(i++), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (have_point && have_range) {
+    std::fprintf(stderr, "--point and --range are mutually exclusive\n");
+    return 2;
+  }
+
+  if (load) {
+    net::LoadDriverOptions o;
+    o.host = host;
+    o.port = port;
+    o.connections = connections;
+    o.requests_per_connection = requests;
+    o.pipeline_depth = pipeline;
+    o.tenants = tenants;
+    o.ping_only = ping_only;
+    o.timeout_ms = timeout_ms;
+    auto report = net::RunLoadDriver(o);
+    if (!report.ok()) {
+      std::fprintf(stderr, "load: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->ToString().c_str());
+    return 0;
+  }
+  if (fuzz) {
+    net::NetFuzzOptions o;
+    o.host = host;
+    o.port = port;
+    o.rounds = rounds;
+    o.clients = clients;
+    o.seed = seed;
+    auto report = net::FuzzNetProtocol(o);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fuzz: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->ToString().c_str());
+    return 0;
+  }
+
+  std::string line;
+  if (!raw.empty()) {
+    line = raw;
+  } else if (ping) {
+    line = "{\"op\": \"ping\", \"id\": 1}";
+  } else {
+    std::string constraint =
+        have_point
+            ? StrFormat("{\"metric\": \"%s\", \"kind\": \"point\", "
+                        "\"value\": %s}",
+                        metric.c_str(), FormatDouble(point).c_str())
+            : StrFormat("{\"metric\": \"%s\", \"kind\": \"range\", "
+                        "\"lo\": %s, \"hi\": %s}",
+                        metric.c_str(), FormatDouble(lo).c_str(),
+                        FormatDouble(hi).c_str());
+    line = net::BuildRequestLine(tenant, 1, constraint, n, batch);
+  }
+
+  auto client = net::BlockingClient::Connect(host, port, timeout_ms);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  if (!client->SendLine(line).ok()) {
+    std::fprintf(stderr, "send failed\n");
+    return 1;
+  }
+  auto response = client->ReadLine();
+  if (!response.ok()) {
+    std::fprintf(stderr, "read: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  auto doc = obs::JsonParse(*response);
+  return doc.ok() && doc->NumberOr("ok", 0) == 1.0 ? 0 : 1;
+}

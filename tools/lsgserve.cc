@@ -18,6 +18,8 @@
 // status, satisfied/attempts, hit/train, seconds), followed by the
 // aggregate service metrics as one JSON object.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,12 +29,39 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "datasets/job_like.h"
 #include "datasets/tpch_like.h"
 #include "datasets/xuetang_like.h"
 #include "service/generation_service.h"
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful drain: stop submitting new requests,
+// finish (and report) everything already accepted. A second signal falls
+// back to the default disposition, i.e. kills the process.
+std::atomic<bool> g_drain{false};
+
+void DrainSignalHandler(int signo) {
+  g_drain.store(true, std::memory_order_relaxed);
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigaction(signo, &dfl, nullptr);
+  // write(2) is async-signal-safe; fprintf is not.
+  const char msg[] =
+      "\nlsgserve: draining in-flight requests (signal again to kill)\n";
+  ssize_t ignored = write(STDERR_FILENO, msg, sizeof(msg) - 1);
+  (void)ignored;
+}
+
+void InstallDrainHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = DrainSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 void Usage() {
   std::printf(
@@ -211,10 +240,12 @@ int main(int argc, char** argv) {
                dataset.c_str(), db.num_tables(), db.TotalRows(), workers,
                queue_capacity, cache_capacity, batch.size());
 
+  InstallDrainHandlers();
   Stopwatch wall;
   std::vector<std::future<GenerationResponse>> futures;
   futures.reserve(batch.size());
   for (ParsedRequest& p : batch) {
+    if (g_drain.load(std::memory_order_relaxed)) break;
     if (fail_fast) {
       auto f = (*service)->TrySubmit(p.request);
       if (!f.ok()) {
@@ -257,16 +288,23 @@ int main(int argc, char** argv) {
       std::printf("\t%.4g\t%s\n", q.metric, q.sql.c_str());
     }
   }
+  // Requests never submitted because a drain signal arrived mid-batch.
+  size_t skipped = batch.size() - futures.size();
+  for (size_t i = futures.size(); i < batch.size(); ++i) {
+    std::printf("%llu\t%s\tSKIPPED (drain)\t-\t-\t-\n",
+                static_cast<unsigned long long>(batch[i].request.id),
+                batch[i].request.constraint.ToString().c_str());
+  }
   (*service)->Shutdown();
   double wall_seconds = wall.ElapsedSeconds();
 
   ServiceMetricsSnapshot m = (*service)->Metrics();
   std::printf("%s\n", m.ToJson().c_str());
   std::fprintf(stderr,
-               "%zu requests in %.2fs wall (%.2f req/s), cache hit rate "
-               "%.0f%%, %d failed\n",
-               batch.size(), wall_seconds,
-               static_cast<double>(batch.size()) / wall_seconds,
-               100.0 * m.cache_hit_rate(), failures);
+               "%zu/%zu requests in %.2fs wall (%.2f req/s), cache hit rate "
+               "%.0f%%, %d failed, %zu skipped by drain\n",
+               futures.size(), batch.size(), wall_seconds,
+               static_cast<double>(futures.size()) / wall_seconds,
+               100.0 * m.cache_hit_rate(), failures, skipped);
   return failures == 0 ? 0 : 1;
 }
