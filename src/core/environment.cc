@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "fsm/compiled_fsm.h"
 #include "obs/episode_telemetry.h"
 #include "obs/metrics_registry.h"
 #include "obs/span_tracer.h"
@@ -27,6 +28,13 @@ SqlGenEnvironment::SqlGenEnvironment(const Database* db,
       prefix_est_(estimator, cost_model),
       constraint_str_(constraint.ToString()) {
   LSG_CHECK(estimator != nullptr && cost_model != nullptr);
+  if (options.compiled_fsm != nullptr) {
+    LSG_CHECK(options.compiled_fsm->fingerprint() ==
+              CompiledFsmFingerprint(*db, *vocab, options.profile))
+        << "compiled FSM table was built for a different "
+        << "(database, vocabulary, profile)";
+    fsm_.AttachCompiledTable(options.compiled_fsm);
+  }
   const char* check = std::getenv("LSG_CHECK_INCREMENTAL");
   check_incremental_ = check != nullptr && check[0] == '1';
 }

@@ -41,6 +41,15 @@ struct EnvironmentOptions {
   /// fuzz oracle, and on every step when LSG_CHECK_INCREMENTAL=1 is set).
   /// Disable to force full re-walks on every step.
   bool incremental_prefix_estimates = true;
+
+  /// Optional compiled mask/transition table (fsm/compiled_fsm.h): mask
+  /// lookups become indexed loads instead of grammar + semantic-rule
+  /// re-derivation. Must have been compiled for exactly this environment's
+  /// (database, vocabulary, profile) — verified by fingerprint at
+  /// construction — and must outlive the environment. nullptr = interpreted
+  /// masks (always correct; the compiled path is differentially tested
+  /// against it).
+  const CompiledFsmTable* compiled_fsm = nullptr;
 };
 
 /// The paper's environment (Figure 1): wraps the FSM (action masking), the

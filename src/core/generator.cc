@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "fsm/compiled_fsm.h"
 #include "nn/serialize.h"
 #include "obs/span_tracer.h"
 #include "sql/render.h"
@@ -43,6 +44,15 @@ Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
   env_opts.feedback_cache = options_.feedback_cache;
   env_opts.incremental_prefix_estimates =
       options_.incremental_prefix_estimates;
+  env_opts.compiled_fsm = options_.compiled_fsm;
+  if (env_opts.compiled_fsm == nullptr && options_.use_compiled_fsm) {
+    if (compiled_fsm_ == nullptr) {
+      compiled_fsm_ = CompiledFsmCache::Global().GetOrCompile(
+          *db_, *vocab_, options_.profile, CompileFsmOptions(),
+          options_.compiled_fsm_cache_dir);
+    }
+    env_opts.compiled_fsm = compiled_fsm_.get();
+  }
   env_ = std::make_unique<SqlGenEnvironment>(db_, &*vocab_, estimator_.get(),
                                              cost_model_.get(), constraint,
                                              env_opts);

@@ -41,6 +41,24 @@ struct LearnedSqlGenOptions {
   /// See EnvironmentOptions::incremental_prefix_estimates.
   bool incremental_prefix_estimates = true;
 
+  /// Compile (or load from `compiled_fsm_cache_dir`) a mask/transition
+  /// table for this (database, vocabulary, profile) and serve masks from
+  /// it. Compilation is memoised process-wide and capped (see
+  /// CompileFsmOptions): a pair whose structural state graph is too large —
+  /// wide schemas under permissive profiles — falls back to the
+  /// interpreted FSM automatically, so this is always safe to leave on.
+  bool use_compiled_fsm = true;
+
+  /// Pre-compiled table to attach instead of compiling (must match this
+  /// pipeline's database/vocabulary/profile and outlive it). Wins over
+  /// `use_compiled_fsm` resolution when set.
+  const CompiledFsmTable* compiled_fsm = nullptr;
+
+  /// Disk cache directory for compiled FSM artifacts (empty = in-memory
+  /// only). The service layer defaults this to a sibling of the model
+  /// registry's spill directory.
+  std::string compiled_fsm_cache_dir;
+
   uint64_t seed = 2024;
 };
 
@@ -124,6 +142,9 @@ class LearnedSqlGen {
   std::optional<Vocabulary> vocab_;
   std::unique_ptr<CardinalityEstimator> estimator_;
   std::unique_ptr<CostModel> cost_model_;
+  /// Resolved via CompiledFsmCache when options_.use_compiled_fsm; nullptr
+  /// when compilation is infeasible (interpreted fallback).
+  std::shared_ptr<const CompiledFsmTable> compiled_fsm_;
   std::unique_ptr<SqlGenEnvironment> env_;
   std::unique_ptr<ActorCriticTrainer> ac_trainer_;
   std::unique_ptr<ReinforceTrainer> reinforce_trainer_;

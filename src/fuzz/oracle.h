@@ -29,6 +29,7 @@ struct OracleOptions {
   bool check_estimator = true;  ///< estimator finite / non-negative / bounded
   bool check_dml_apply = true;  ///< DML apply-for-real under snapshot/rollback
   bool check_prefix_estimates = true;  ///< incremental == full, token-by-token
+  bool check_compiled_fsm = true;      ///< compiled FSM == interpreted FSM
 
   /// Work budget per reference evaluation; exceeding it skips the check
   /// (counted in skipped()) instead of stalling the fuzzer.
@@ -86,6 +87,18 @@ class DifferentialOracle {
   std::optional<OracleViolation> CheckPrefixEstimates(
       const Vocabulary* vocab, const QueryProfile& profile,
       const std::vector<int>& actions);
+
+  /// Seventh oracle (compiled-fsm): replays `actions` through an
+  /// interpreted and a compiled FSM in lockstep and asserts before every
+  /// step — and once more at the end — byte-identical masks, identical
+  /// mask widths / last_mask_width(), identical done() flags, that the
+  /// compiled walk never leaves its table, and that a finished episode
+  /// lands exactly on the table's accept state. This is the permanent
+  /// guard that keeps the interpreted FSM authoritative over the
+  /// table-driven fast path.
+  std::optional<OracleViolation> CheckCompiledFsm(
+      const Vocabulary* vocab, const QueryProfile& profile,
+      const CompiledFsmTable* table, const std::vector<int>& actions);
 
   uint64_t checked() const { return checked_; }
   /// Episodes where some check was skipped (join blowup / work budget).

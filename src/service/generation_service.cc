@@ -10,11 +10,17 @@ namespace lsg {
 namespace {
 
 // Folds the service-level feedback cache into the per-pipeline options the
-// registry builds every model from.
+// registry builds every model from, and defaults the compiled-FSM artifact
+// cache to a sibling of the model spill directory so both kinds of
+// build-once state live together.
 LearnedSqlGenOptions MergedGenOptions(const GenerationServiceOptions& options) {
   LearnedSqlGenOptions gen = options.gen;
   if (options.feedback_cache != nullptr) {
     gen.feedback_cache = options.feedback_cache;
+  }
+  if (gen.compiled_fsm_cache_dir.empty() &&
+      !options.registry.spill_dir.empty()) {
+    gen.compiled_fsm_cache_dir = options.registry.spill_dir + "/compiled_fsm";
   }
   return gen;
 }
@@ -27,9 +33,7 @@ GenerationService::GenerationService(const Database* db,
       metrics_(options.metrics_registry),
       registry_(db, MergedGenOptions(options), options.registry, &metrics_),
       queue_(options.queue_capacity) {
-  if (options_.feedback_cache != nullptr) {
-    options_.gen.feedback_cache = options_.feedback_cache;
-  }
+  options_.gen = MergedGenOptions(options_);
 }
 
 StatusOr<std::unique_ptr<GenerationService>> GenerationService::Create(

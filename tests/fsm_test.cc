@@ -6,6 +6,7 @@
 #include "exec/executor.h"
 #include "fsm/generation_fsm.h"
 #include "fsm/semantic_rules.h"
+#include "obs/obs.h"
 #include "sql/render.h"
 #include "tests/test_db.h"
 
@@ -295,6 +296,20 @@ TEST_F(FsmTest, TokenBudgetForcesShortQueries) {
     EXPECT_LE(steps, profile.max_tokens + 6);
     (void)fsm.TakeAst();
   }
+}
+
+TEST_F(FsmTest, ResetClearsLastMaskWidth) {
+  // Regression: last_mask_width_ survived Reset(), so an episode that
+  // terminated on its very first token reported the previous episode's
+  // final mask width to the telemetry sink.
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  GenerationFsm fsm(&db_, &*vocab_, QueryProfile());
+  (void)fsm.ValidActions();
+  EXPECT_GT(fsm.last_mask_width(), 0);
+  fsm.Reset();
+  EXPECT_EQ(fsm.last_mask_width(), 0);
+  obs::SetEnabled(was_enabled);
 }
 
 // ---------------------------------------------------- property walks

@@ -6,8 +6,12 @@
 // reproduce it from the trace alone.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <utility>
+
 #include "core/workload.h"
 #include "exec/executor.h"
+#include "fsm/compiled_fsm.h"
 #include "fsm/generation_fsm.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/oracle.h"
@@ -178,6 +182,55 @@ TEST(OracleTest, CleanEngineSurvivesRandomEpisodes) {
   }
 }
 
+// Clean random episodes stay violation-free whichever FSM implementation
+// drives them: param 0 walks the interpreted FSM under the Full profile,
+// params 1 (SPJ) and 2 (DML) walk with a compiled table attached and
+// additionally run the compiled-vs-interpreted lockstep oracle over every
+// recorded action sequence.
+class FsmImplEpisodes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsmImplEpisodes, CleanEpisodesSurviveEveryOracle) {
+  Database db = BuildScoreStudentDb();
+  auto vocab = Vocabulary::Build(db, VocabularyOptions());
+  ASSERT_TRUE(vocab.ok());
+  QueryProfile profile = QueryProfile::Full();
+  std::optional<CompiledFsmTable> table;
+  if (GetParam() == 1) {
+    profile = QueryProfile::SpjOnly();
+  } else if (GetParam() == 2) {
+    profile = QueryProfile();
+    profile.allow_select = false;
+    profile.allow_insert = true;
+    profile.allow_update = true;
+    profile.allow_delete = true;
+  }
+  if (GetParam() != 0) {
+    auto compiled = CompileFsm(db, *vocab, profile, CompileFsmOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    table.emplace(std::move(*compiled));
+  }
+
+  DifferentialOracle oracle(&db);
+  GenerationFsm fsm(&db, &*vocab, profile);
+  if (table.has_value()) fsm.AttachCompiledTable(&*table);
+  Rng rng(2025 + GetParam());
+  for (int i = 0; i < 40; ++i) {
+    fsm.Reset();
+    std::vector<int> actions;
+    auto ast = RecordedRandomWalk(&fsm, &rng, &actions);
+    ASSERT_TRUE(ast.ok());
+    auto v = oracle.Check(*ast);
+    EXPECT_FALSE(v.has_value()) << "[" << v->oracle << "] " << v->detail;
+    if (table.has_value()) {
+      auto cv = oracle.CheckCompiledFsm(&*vocab, profile, &*table, actions);
+      EXPECT_FALSE(cv.has_value())
+          << "[" << cv->oracle << "] " << cv->detail;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FsmImpls, FsmImplEpisodes, ::testing::Range(0, 3));
+
 // Render → Parse → Render must be a byte-for-byte fixpoint for every
 // generated statement class (the property behind the roundtrip oracle).
 TEST(OracleTest, RenderParseRenderIsAFixpoint) {
@@ -298,6 +351,34 @@ TEST(FuzzerTest, InjectedRendererBugTripsTheFixpointOracle) {
   EXPECT_EQ(stats->failures[0].oracle, "render-fixpoint");
 }
 
+TEST(FuzzerTest, InjectedFsmTableCorruptionIsCaught) {
+  // Both table mutations (a flipped mask byte, a swapped transition pair)
+  // must be detected by the compiled-vs-interpreted lockstep oracle — the
+  // differential harness proving the soundness test actually has teeth.
+  for (const std::string bug : {"mask-bit", "transition-swap"}) {
+    FuzzOptions opts;
+    opts.datasets = {"score"};
+    opts.episodes = 40;
+    opts.seed = 7;
+    opts.max_failures = 2;
+    opts.shrink = false;
+    opts.inject_fsm_bug = bug;
+
+    auto stats = RunFuzz(opts);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_GT(stats->compiled_tables, 0) << bug;
+    ASSERT_FALSE(stats->failures.empty())
+        << "harness failed to catch injected FSM-table bug: " << bug;
+    for (const EpisodeTrace& f : stats->failures) {
+      EXPECT_EQ(f.oracle, "compiled-fsm") << bug << ": " << f.detail;
+    }
+  }
+  // Unknown injection names are rejected, not silently ignored.
+  FuzzOptions bad;
+  bad.inject_fsm_bug = "typo";
+  EXPECT_FALSE(RunFuzz(bad).ok());
+}
+
 TEST(FuzzerTest, CleanRunOverEveryDatasetFindsNothing) {
   FuzzOptions opts;
   opts.episodes = 25;  // 25 x 4 datasets; keep the suite fast
@@ -305,6 +386,9 @@ TEST(FuzzerTest, CleanRunOverEveryDatasetFindsNothing) {
   auto stats = RunFuzz(opts);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->episodes, 100u);
+  // SPJ compiles on every bundled dataset and DML on score, so the clean
+  // sweep also exercises the compiled-vs-interpreted oracle for real.
+  EXPECT_GE(stats->compiled_tables, 4);
   for (const EpisodeTrace& f : stats->failures) {
     ADD_FAILURE() << "[" << f.oracle << "] " << f.detail << "\n" << f.sql;
   }

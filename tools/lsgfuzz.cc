@@ -45,8 +45,9 @@ void Usage() {
       "  --no-shrink      keep failing traces unminimized\n"
       "  --max-failures N stop a dataset after N failures (default 16)\n"
       "  --verbose        log every failure as it is found\n"
-      "  --inject-bug K   card-off-by-one|render-space (mutation-tests the\n"
-      "                   harness: the run MUST report violations)\n"
+      "  --inject-bug K   card-off-by-one|render-space|mask-bit|\n"
+      "                   transition-swap (mutation-tests the harness:\n"
+      "                   the run MUST report violations)\n"
       "service options:\n"
       "  --rounds N       service lifecycles (default 4)\n"
       "  --requests N     requests per round (default 16)\n");
@@ -115,10 +116,13 @@ int main(int argc, char** argv) {
   }
 
   OracleOptions oracle;
+  std::string inject_fsm_bug;
   if (inject == "card-off-by-one") {
     oracle.inject_card_offset = 1;
   } else if (inject == "render-space") {
     oracle.inject_render_space = true;
+  } else if (inject == "mask-bit" || inject == "transition-swap") {
+    inject_fsm_bug = inject;  // corrupts the compiled FSM tables
   } else if (!inject.empty()) {
     return FailUsage("unknown --inject-bug kind");
   }
@@ -181,6 +185,7 @@ int main(int argc, char** argv) {
   opts.max_failures = max_failures;
   opts.verbose = verbose;
   opts.oracle = oracle;
+  opts.inject_fsm_bug = inject_fsm_bug;
 
   auto stats = RunFuzz(opts);
   if (!stats.ok()) {
