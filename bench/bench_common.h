@@ -33,10 +33,12 @@ struct BenchConfig {
 
   static BenchConfig FromEnv() {
     BenchConfig c;
+    // NOLINTBEGIN(concurrency-mt-unsafe): single-threaded bench setup
     if (const char* v = std::getenv("LSG_N")) c.n = std::atoi(v);
     if (const char* v = std::getenv("LSG_EPOCHS")) c.epochs = std::atoi(v);
     if (const char* v = std::getenv("LSG_SCALE")) c.scale = std::atof(v);
     if (const char* v = std::getenv("LSG_QUICK"); v != nullptr && v[0] == '1') {
+    // NOLINTEND(concurrency-mt-unsafe)
       c.n /= 4;
       c.epochs /= 4;
       if (c.n < 10) c.n = 10;

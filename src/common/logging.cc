@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace lsg {
 
@@ -10,8 +11,8 @@ namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 // Guards the sink pointer and every line emission: a log line is written
 // and flushed atomically with respect to other threads and to sink swaps.
-std::mutex g_log_mutex;
-std::FILE* g_log_sink = nullptr;  // nullptr = stderr; guarded by g_log_mutex
+Mutex g_log_mutex;
+std::FILE* g_log_sink LSG_GUARDED_BY(g_log_mutex) = nullptr;  // nullptr = stderr
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -34,7 +35,7 @@ void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
 void SetLogSink(std::FILE* sink) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   g_log_sink = sink;
 }
 
@@ -52,7 +53,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    // dtor-lock: every LSG_LOG statement emits from this destructor; the
+    // leaf logging mutex is held only around fprintf+fflush and acquires
+    // no other lock, so it cannot participate in a cycle.
+    MutexLock lock(&g_log_mutex);
     std::FILE* out = g_log_sink != nullptr ? g_log_sink : stderr;
     std::fprintf(out, "%s\n", stream_.str().c_str());
     std::fflush(out);

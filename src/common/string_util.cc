@@ -1,5 +1,7 @@
 #include "common/string_util.h"
 
+#include <string.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdarg>
@@ -56,6 +58,20 @@ std::string Trim(std::string_view s) {
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return std::string(s.substr(b, e - b));
+}
+
+std::string ErrnoString(int errno_value) {
+  char buf[256];
+  // glibc's GNU strerror_r either fills buf or returns a pointer to an
+  // immutable static message; both are safe to copy from.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return strerror_r(errno_value, buf, sizeof(buf));
+#else
+  if (strerror_r(errno_value, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", errno_value);
+  }
+  return buf;
+#endif
 }
 
 std::string StrFormat(const char* fmt, ...) {

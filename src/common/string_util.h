@@ -32,6 +32,12 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Formats a double compactly (no trailing zeros, max 6 significant digits).
 std::string FormatDouble(double v);
 
+/// Thread-safe strerror: the message for `errno_value` via strerror_r.
+/// (std::strerror returns a pointer into shared static storage — a data
+/// race the moment two threads report errors; clang-tidy's
+/// concurrency-mt-unsafe flags every call.)
+std::string ErrnoString(int errno_value);
+
 /// Human-readable count, e.g. 1500 -> "1.5K", 2000000 -> "2M".
 std::string HumanCount(double v);
 

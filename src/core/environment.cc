@@ -35,6 +35,7 @@ SqlGenEnvironment::SqlGenEnvironment(const Database* db,
         << "(database, vocabulary, profile)";
     fsm_.AttachCompiledTable(options.compiled_fsm);
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup latch, no setenv
   const char* check = std::getenv("LSG_CHECK_INCREMENTAL");
   check_incremental_ = check != nullptr && check[0] == '1';
 }

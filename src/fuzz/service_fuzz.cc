@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "common/string_util.h"
 #include "fuzz/test_databases.h"
 #include "service/generation_service.h"
@@ -56,7 +57,7 @@ Status FuzzGenerationService(const ServiceFuzzOptions& options) {
     // Flood the service from a racing producer thread; requests mix
     // blocking Submit with fail-fast TrySubmit, batch and satisfy modes.
     std::vector<std::future<GenerationResponse>> futures;
-    std::mutex futures_mu;
+    Mutex futures_mu;
     std::thread producer([&] {
       Rng prng(SplitMix64(options.seed + 1000 + round));
       for (int i = 0; i < options.requests_per_round; ++i) {
@@ -68,12 +69,12 @@ Status FuzzGenerationService(const ServiceFuzzOptions& options) {
         if (prng.Bernoulli(0.25)) {
           auto f = (*service)->TrySubmit(req);
           if (f.ok()) {
-            std::lock_guard<std::mutex> lock(futures_mu);
+            MutexLock lock(&futures_mu);
             futures.push_back(std::move(*f));
           }
           // Backpressure / post-shutdown rejections are orderly outcomes.
         } else {
-          std::lock_guard<std::mutex> lock(futures_mu);
+          MutexLock lock(&futures_mu);
           futures.push_back((*service)->Submit(req));
         }
       }

@@ -29,7 +29,7 @@ class EpollPoller : public Poller {
   Status Init() const {
     if (epfd_ < 0) {
       return Status::Internal(
-          StrFormat("epoll_create1: %s", std::strerror(errno)));
+          StrFormat("epoll_create1: %s", ErrnoString(errno).c_str()));
     }
     return Status::Ok();
   }
@@ -51,7 +51,7 @@ class EpollPoller : public Poller {
     if (n < 0) {
       if (errno == EINTR) return 0;
       return Status::Internal(
-          StrFormat("epoll_wait: %s", std::strerror(errno)));
+          StrFormat("epoll_wait: %s", ErrnoString(errno).c_str()));
     }
     out->reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -77,7 +77,7 @@ class EpollPoller : public Poller {
     if (want_write) ev.events |= EPOLLOUT;
     if (::epoll_ctl(epfd_, op, fd, &ev) != 0) {
       return Status::Internal(
-          StrFormat("epoll_ctl(fd=%d): %s", fd, std::strerror(errno)));
+          StrFormat("epoll_ctl(fd=%d): %s", fd, ErrnoString(errno).c_str()));
     }
     return Status::Ok();
   }
@@ -118,7 +118,7 @@ class PollPoller : public Poller {
     int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) return 0;
-      return Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
+      return Status::Internal(StrFormat("poll: %s", ErrnoString(errno).c_str()));
     }
     for (const pollfd& p : fds_) {
       if (p.revents == 0) continue;

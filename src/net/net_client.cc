@@ -4,7 +4,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +15,7 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "common/string_util.h"
 
 #ifndef MSG_NOSIGNAL
@@ -28,7 +28,7 @@ namespace net {
 namespace {
 
 Status Errno(const char* what) {
-  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+  return Status::Internal(StrFormat("%s: %s", what, ErrnoString(errno).c_str()));
 }
 
 void SetTimeout(int fd, int timeout_ms) {
@@ -185,7 +185,7 @@ StatusOr<LoadDriverReport> RunLoadDriver(const LoadDriverOptions& options) {
 
   LoadDriverReport report;
   std::vector<double> latencies_ms;
-  std::mutex mu;
+  Mutex mu;
   Status first_error = Status::Ok();
   std::vector<std::thread> threads;
   threads.reserve(options.connections);
@@ -197,7 +197,7 @@ StatusOr<LoadDriverReport> RunLoadDriver(const LoadDriverOptions& options) {
           BlockingClient::Connect(options.host, options.port,
                                   options.timeout_ms);
       if (!client.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (first_error.ok()) first_error = client.status();
         return;
       }
@@ -264,7 +264,7 @@ StatusOr<LoadDriverReport> RunLoadDriver(const LoadDriverOptions& options) {
         if (!read_one()) break;
       }
 
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       report.sent += local_sent;
       report.ok += local_ok;
       report.errors += local_errors;

@@ -27,7 +27,7 @@ namespace net {
 namespace {
 
 Status Errno(const char* what) {
-  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+  return Status::Internal(StrFormat("%s: %s", what, ErrnoString(errno).c_str()));
 }
 
 Status SetNonBlocking(int fd) {
@@ -267,6 +267,8 @@ Status NetServer::Join() {
 }
 
 void NetServer::BeginDrain() {
+  // relaxed: a level-semantic flag; the loop re-reads it every poll cycle
+  // and drain carries no payload that needs ordering (async-signal-safe).
   drain_requested_.store(true, std::memory_order_relaxed);
   WakeLoop();
 }
@@ -296,6 +298,7 @@ int NetServer::ComputePollTimeoutMs(uint64_t now_ns) const {
 
 Status NetServer::LoopOnce() {
   uint64_t now = Stopwatch::NowNanos();
+  // relaxed: pairs with the level-semantic store in BeginDrain.
   if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
     EnterDrain(now);
   }
@@ -328,6 +331,7 @@ Status NetServer::LoopOnce() {
   DrainCompletedQueue();
   now = Stopwatch::NowNanos();
   SweepTimeouts(now);
+  // relaxed: pairs with the level-semantic store in BeginDrain.
   if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
     EnterDrain(now);
   }
@@ -500,10 +504,10 @@ void NetServer::OnFrame(Conn* conn, FrameEvent event,
   m_->dispatch_ns.Record(Stopwatch::NowNanos() - frame_ns);
 
   {
-    std::lock_guard<std::mutex> lock(feed_mu_);
+    MutexLock lock(&feed_mu_);
     feed_.push_back(WaitItem{token, std::move(outcome.future)});
   }
-  feed_cv_.notify_one();
+  feed_cv_.NotifyOne();
 }
 
 void NetServer::SendToConn(Conn* conn, std::string data) {
@@ -570,7 +574,7 @@ void NetServer::CloseConn(Conn* conn, obs::Counter* reason) {
 void NetServer::DrainCompletedQueue() {
   std::deque<CompletedItem> batch;
   {
-    std::lock_guard<std::mutex> lock(completed_mu_);
+    MutexLock lock(&completed_mu_);
     batch.swap(completed_);
   }
   for (CompletedItem& item : batch) {
@@ -696,8 +700,8 @@ void NetServer::WaiterMain() {
   while (true) {
     WaitItem item;
     {
-      std::unique_lock<std::mutex> lock(feed_mu_);
-      feed_cv_.wait(lock, [this] { return feed_closed_ || !feed_.empty(); });
+      MutexLock lock(&feed_mu_);
+      while (!feed_closed_ && feed_.empty()) feed_cv_.Wait(feed_mu_);
       if (feed_.empty()) return;  // closed and drained
       item = std::move(feed_.front());
       feed_.pop_front();
@@ -712,7 +716,7 @@ void NetServer::WaiterMain() {
       done.response.status = Status::Internal("response promise broken");
     }
     {
-      std::lock_guard<std::mutex> lock(completed_mu_);
+      MutexLock lock(&completed_mu_);
       completed_.push_back(std::move(done));
     }
     WakeLoop();
@@ -724,10 +728,10 @@ void NetServer::Teardown() {
   torn_down_ = true;
   done_ = true;
   {
-    std::lock_guard<std::mutex> lock(feed_mu_);
+    MutexLock lock(&feed_mu_);
     feed_closed_ = true;
   }
-  feed_cv_.notify_all();
+  feed_cv_.NotifyAll();
   for (std::thread& t : waiters_) {
     if (t.joinable()) t.join();
   }

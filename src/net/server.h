@@ -2,17 +2,16 @@
 #define LEARNEDSQLGEN_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/admission.h"
 #include "net/event_loop.h"
 #include "net/frame_fsm.h"
@@ -207,14 +206,16 @@ class NetServer {
   bool done_ = false;
   bool torn_down_ = false;
 
-  // Cross-thread state.
+  // Cross-thread state. Lock order: feed_mu_ and completed_mu_ are leaf
+  // locks (nothing else is acquired while holding either), so the loop
+  // thread and the waiter pool can never deadlock through them.
   std::atomic<bool> drain_requested_{false};
-  std::mutex feed_mu_;
-  std::condition_variable feed_cv_;
-  std::deque<WaitItem> feed_;
-  bool feed_closed_ = false;
-  std::mutex completed_mu_;
-  std::deque<CompletedItem> completed_;
+  Mutex feed_mu_;
+  CondVar feed_cv_;
+  std::deque<WaitItem> feed_ LSG_GUARDED_BY(feed_mu_);
+  bool feed_closed_ LSG_GUARDED_BY(feed_mu_) = false;
+  Mutex completed_mu_;
+  std::deque<CompletedItem> completed_ LSG_GUARDED_BY(completed_mu_);
   std::vector<std::thread> waiters_;
   std::thread loop_thread_;
   Status loop_status_;

@@ -41,12 +41,15 @@ EpisodeTelemetry::EpisodeTelemetry(std::string path, Options options)
     : path_(std::move(path)),
       options_(options),
       csv_(EndsWith(path_, ".csv")) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   OpenFreshLocked();
 }
 
 EpisodeTelemetry::~EpisodeTelemetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // dtor-lock: closes the file under the same leaf mutex Record uses; the
+  // sink contract (obs::SetEpisodeSink) requires recorders to be quiesced
+  // before destruction, so this never contends with a live writer.
+  MutexLock lock(&mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -96,7 +99,7 @@ std::string EpisodeTelemetry::FormatRowLocked(const EpisodeRow& row) const {
 }
 
 void EpisodeTelemetry::Record(const EpisodeRow& row) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return;
   std::fputs(FormatRowLocked(row).c_str(), file_);
   ++rows_in_file_;
@@ -105,22 +108,22 @@ void EpisodeTelemetry::Record(const EpisodeRow& row) {
 }
 
 void EpisodeTelemetry::SetTag(std::string tag) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tag_ = std::move(tag);
 }
 
 void EpisodeTelemetry::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) std::fflush(file_);
 }
 
 uint64_t EpisodeTelemetry::rows_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rows_total_;
 }
 
 int EpisodeTelemetry::rotations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rotations_;
 }
 

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "obs/obs.h"
 
 namespace lsg {
@@ -66,20 +66,20 @@ class EpisodeTelemetry {
   bool ok() const { return file_ != nullptr; }
 
  private:
-  void OpenFreshLocked();
-  void RotateLocked();
-  std::string FormatRowLocked(const EpisodeRow& row) const;
+  void OpenFreshLocked() LSG_REQUIRES(mu_);
+  void RotateLocked() LSG_REQUIRES(mu_);
+  std::string FormatRowLocked(const EpisodeRow& row) const LSG_REQUIRES(mu_);
 
   const std::string path_;
   const Options options_;
   const bool csv_;
 
-  mutable std::mutex mu_;
-  FILE* file_ = nullptr;
-  uint64_t rows_in_file_ = 0;
-  uint64_t rows_total_ = 0;
-  int rotations_ = 0;
-  std::string tag_;
+  mutable Mutex mu_;
+  FILE* file_ LSG_GUARDED_BY(mu_) = nullptr;
+  uint64_t rows_in_file_ LSG_GUARDED_BY(mu_) = 0;
+  uint64_t rows_total_ LSG_GUARDED_BY(mu_) = 0;
+  int rotations_ LSG_GUARDED_BY(mu_) = 0;
+  std::string tag_ LSG_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -27,12 +27,14 @@ HistogramStats Histogram::Snapshot() const {
   uint64_t total = 0;
   int highest = -1;
   for (int i = 0; i < kBuckets; ++i) {
+    // relaxed: concurrent snapshot; per-bucket atomicity is all we need.
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     total += counts[i];
     if (counts[i] != 0) highest = i;
   }
   HistogramStats s;
   s.count = total;
+  // relaxed: same concurrent-snapshot contract as the buckets above.
   s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
   if (total == 0) return s;
   s.mean = s.sum / static_cast<double>(total);
@@ -62,13 +64,15 @@ HistogramStats Histogram::Snapshot() const {
 }
 
 void Histogram::Reset() {
+  // relaxed: Reset is documented as unsynchronized with writers; callers
+  // quiesce between phases.
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -80,7 +84,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
@@ -90,7 +94,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -102,7 +106,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
@@ -113,7 +117,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

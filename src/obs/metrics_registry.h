@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "obs/obs.h"
 
 namespace lsg {
@@ -32,6 +32,8 @@ struct alignas(64) StripeCell {
 class Counter {
  public:
   void Add(uint64_t delta) {
+    // relaxed: stripe cells are independent monotonic tallies; no reader
+    // depends on ordering between them, only on each cell's atomicity.
     cells_[ThreadId() & (kCounterStripes - 1)].v.fetch_add(
         delta, std::memory_order_relaxed);
   }
@@ -43,12 +45,15 @@ class Counter {
   uint64_t Value() const {
     uint64_t sum = 0;
     for (const StripeCell& c : cells_) {
+      // relaxed: a concurrent snapshot, not a linearizable one (see above).
       sum += c.v.load(std::memory_order_relaxed);
     }
     return sum;
   }
 
   void Reset() {
+    // relaxed: Reset is documented as unsynchronized with writers; callers
+    // quiesce between phases.
     for (StripeCell& c : cells_) c.v.store(0, std::memory_order_relaxed);
   }
 
@@ -65,14 +70,18 @@ class Gauge {
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(x));
     __builtin_memcpy(&bits, &x, sizeof(bits));
+    // relaxed: last-write-wins by contract; the value is self-contained
+    // (one word), so no ordering with other memory is needed.
     bits_.store(bits, std::memory_order_relaxed);
   }
   double Value() const {
+    // relaxed: reads pair with the relaxed last-write-wins store above.
     uint64_t bits = bits_.load(std::memory_order_relaxed);
     double x;
     __builtin_memcpy(&x, &bits, sizeof(x));
     return x;
   }
+  // relaxed: same contract as Set.
   void Reset() { bits_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -108,6 +117,8 @@ class Histogram {
   static constexpr int kBuckets = 8 + (64 - kSubBucketBits) * kSubBuckets;
 
   void Record(uint64_t value) {
+    // relaxed: buckets/count/sum are independently monotonic; snapshots
+    // tolerate mid-record tearing between them (count may lag a bucket).
     buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
@@ -119,6 +130,7 @@ class Histogram {
   static uint64_t BucketLowerBound(int index);
 
   HistogramStats Snapshot() const;
+  // relaxed: monotonic progress probe; exactness is not promised.
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   void Reset();
 
@@ -193,10 +205,13 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      LSG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      LSG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      LSG_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -10,6 +10,7 @@ namespace {
 std::atomic<bool>& EnabledFlag() {
   // Latched from the environment exactly once, on first query.
   static std::atomic<bool> enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): startup latch, no setenv
     const char* v = std::getenv("LSG_OBS");
     return v != nullptr && v[0] == '1';
   }();
@@ -23,23 +24,29 @@ std::atomic<EpisodeTelemetry*>& SinkSlot() {
 
 }  // namespace
 
+// relaxed: an independent on/off level; no data is published through it.
 bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
 
 void SetEnabled(bool on) {
+  // relaxed: same level-flag contract as Enabled().
   EnabledFlag().store(on, std::memory_order_relaxed);
 }
 
 int ThreadId() {
   static std::atomic<int> next{0};
+  // relaxed: unique-id allocation; only atomicity of the counter matters.
   thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
 EpisodeTelemetry* EpisodeSink() {
+  // acquire: pairs with the release in SetEpisodeSink so the sink's
+  // construction happens-before any Record() through this pointer.
   return SinkSlot().load(std::memory_order_acquire);
 }
 
 void SetEpisodeSink(EpisodeTelemetry* sink) {
+  // release: publishes the fully-constructed sink to EpisodeSink readers.
   SinkSlot().store(sink, std::memory_order_release);
 }
 

@@ -17,14 +17,18 @@ SpanTracer::SpanTracer(size_t capacity) {
 
 void SpanTracer::Record(const char* name, uint64_t start_ns,
                         uint64_t duration_ns) {
+  // relaxed: the claim only picks a slot; the seqlock states order the data.
   const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed) + 1;
   Slot& slot = slots_[claim & mask_];
   // Seqlock write: mark busy (odd), publish fields, mark complete (2·claim).
+  // release: the odd state must be visible before any field changes.
   slot.state.store(2 * claim - 1, std::memory_order_release);
+  // relaxed: field stores are fenced by the two release state stores.
   slot.name.store(name, std::memory_order_relaxed);
   slot.tid.store(static_cast<uint32_t>(ThreadId()), std::memory_order_relaxed);
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  // release: the even state publishes the completed fields to readers.
   slot.state.store(2 * claim, std::memory_order_release);
 }
 
@@ -32,14 +36,16 @@ std::vector<SpanTracer::Span> SpanTracer::Snapshot() const {
   std::vector<Span> out;
   out.reserve(slots_.size());
   for (const Slot& slot : slots_) {
+    // acquire: pairs with Record's release stores of slot.state.
     uint64_t s1 = slot.state.load(std::memory_order_acquire);
     if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
     Span span;
+    // relaxed: field loads are validated by the s1 == s2 recheck below.
     span.name = slot.name.load(std::memory_order_relaxed);
     span.tid = static_cast<int>(slot.tid.load(std::memory_order_relaxed));
     span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
     span.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
-    uint64_t s2 = slot.state.load(std::memory_order_acquire);
+    uint64_t s2 = slot.state.load(std::memory_order_acquire);  // acquire: recheck
     if (s1 != s2) continue;  // overwritten while reading
     span.seq = s1 / 2;
     out.push_back(span);
@@ -101,6 +107,8 @@ std::string SpanTracer::TextDump(size_t max_rows) const {
 }
 
 void SpanTracer::Clear() {
+  // relaxed: Clear is unsynchronized with recorders by contract; callers
+  // quiesce between phases (tests, tool epilogues).
   for (Slot& slot : slots_) slot.state.store(0, std::memory_order_relaxed);
   next_.store(0, std::memory_order_relaxed);
 }

@@ -50,6 +50,7 @@ class SpanTracer {
 
   /// Total spans ever recorded (retained + dropped).
   uint64_t total_recorded() const {
+    // relaxed: monotonic tally; no other data is published through it.
     return next_.load(std::memory_order_relaxed);
   }
 

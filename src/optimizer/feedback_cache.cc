@@ -130,7 +130,7 @@ std::optional<double> FeedbackCache::Lookup(uint64_t key) {
   bool hit = false;
   double value = 0.0;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.index.find(key);
     if (it != s.index.end()) {
       s.lru.splice(s.lru.begin(), s.lru, it->second);
@@ -156,7 +156,7 @@ void FeedbackCache::Insert(uint64_t key, double value) {
   Shard& s = ShardFor(key);
   bool evicted = false;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.index.find(key);
     if (it != s.index.end()) {
       // Refresh: estimates are deterministic so the value cannot differ,
@@ -185,7 +185,7 @@ void FeedbackCache::Insert(uint64_t key, double value) {
 FeedbackCache::Stats FeedbackCache::GetStats() const {
   Stats out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.insertions += shard->insertions;
@@ -197,7 +197,7 @@ FeedbackCache::Stats FeedbackCache::GetStats() const {
 
 void FeedbackCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "optimizer/cost_model.h"
 #include "sql/ast.h"
 
@@ -88,13 +88,14 @@ class FeedbackCache {
     double value;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
+    Mutex mu;
+    std::list<Entry> lru LSG_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        LSG_GUARDED_BY(mu);
+    uint64_t hits LSG_GUARDED_BY(mu) = 0;
+    uint64_t misses LSG_GUARDED_BY(mu) = 0;
+    uint64_t insertions LSG_GUARDED_BY(mu) = 0;
+    uint64_t evictions LSG_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key) {

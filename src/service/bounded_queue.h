@@ -1,12 +1,12 @@
 #ifndef LEARNEDSQLGEN_SERVICE_BOUNDED_QUEUE_H_
 #define LEARNEDSQLGEN_SERVICE_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace lsg {
 
@@ -28,74 +28,73 @@ class BoundedQueue {
   /// Blocks while the queue is full. Returns false (item dropped) if the
   /// queue is closed before a slot frees up.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
-    Enqueue(std::move(item));
+    EnqueueLocked(std::move(item));
     return true;
   }
 
   /// Fail-fast producer: returns false immediately when full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_ || items_.size() >= capacity_) return false;
-    Enqueue(std::move(item));
+    EnqueueLocked(std::move(item));
     return true;
   }
 
   /// Blocks while the queue is empty. Returns nullopt once the queue is
   /// closed and fully drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Rejects all future producers and wakes every waiter. Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
   /// Deepest the queue has ever been (backpressure diagnostics).
   size_t high_water_mark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return high_water_;
   }
 
  private:
-  void Enqueue(T item) {  // callers hold mu_
+  void EnqueueLocked(T item) LSG_REQUIRES(mu_) {
     items_.push_back(std::move(item));
     if (items_.size() > high_water_) high_water_ = items_.size();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  size_t high_water_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ LSG_GUARDED_BY(mu_);
+  size_t high_water_ LSG_GUARDED_BY(mu_) = 0;
+  bool closed_ LSG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lsg

@@ -46,6 +46,7 @@ StatusOr<std::unique_ptr<GenerationService>> GenerationService::Create(
   }
   std::unique_ptr<GenerationService> service(
       new GenerationService(db, options));
+  MutexLock lock(&service->shutdown_mu_);
   service->workers_.reserve(options.num_workers);
   for (int w = 0; w < options.num_workers; ++w) {
     service->workers_.emplace_back(
@@ -109,7 +110,7 @@ GenerationResponse GenerationService::SubmitAndWait(
 }
 
 void GenerationService::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(&shutdown_mu_);
   queue_.Close();  // producers rejected; accepted jobs drain
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
@@ -163,8 +164,9 @@ Status GenerationService::Handle(const GenerationRequest& request, Rng* rng,
   response->cache_hit = acquired->cache_hit;
   response->warm_start = acquired->warm_start;
 
-  std::lock_guard<std::mutex> model_lock(acquired->entry->mu);
-  LearnedSqlGen* gen = acquired->entry->gen.get();
+  ModelEntry* entry = acquired->entry.get();
+  MutexLock model_lock(&entry->mu);
+  LearnedSqlGen* gen = entry->gen.get();
   if (gen == nullptr) {
     return Status::Internal("registry returned an empty model");
   }

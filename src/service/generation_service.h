@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "core/generator.h"
 #include "service/bounded_queue.h"
 #include "service/model_registry.h"
@@ -126,8 +127,11 @@ class GenerationService {
   ServiceMetrics metrics_;
   ModelRegistry registry_;
   BoundedQueue<Job> queue_;
-  std::vector<std::thread> workers_;
-  std::mutex shutdown_mu_;
+  /// Written once at startup (under the lock, before any concurrent
+  /// caller exists) and joined by the first Shutdown; the lock also makes
+  /// concurrent Shutdown calls idempotent instead of double-joining.
+  std::vector<std::thread> workers_ LSG_GUARDED_BY(shutdown_mu_);
+  Mutex shutdown_mu_;
 };
 
 }  // namespace lsg

@@ -1,5 +1,6 @@
 #include "service/model_registry.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 #include <vector>
@@ -25,7 +26,7 @@ ModelRegistry::ModelRegistry(const Database* db,
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   return models_.size();
 }
 
@@ -40,11 +41,16 @@ StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
   std::shared_ptr<ModelEntry> entry;
   bool creator = false;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     Slot& slot = models_[key];
     if (slot.entry == nullptr) {
       slot.entry = std::make_shared<ModelEntry>();
-      slot.entry->constraint = c;
+      {
+        // registry -> entry order; uncontended (the entry is not visible
+        // to any other thread until registry_mu_ is released).
+        MutexLock el(&slot.entry->mu);
+        slot.entry->constraint = c;
+      }
       creator = true;
       metrics_->cache_misses.Inc();
     }
@@ -53,13 +59,14 @@ StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
     if (creator) EvictIfNeeded();
   }
 
+  ModelEntry* e = entry.get();
   if (!creator) {
-    std::unique_lock<std::mutex> el(entry->mu);
-    if (!entry->ready) {
+    MutexLock el(&e->mu);
+    if (!e->ready) {
       metrics_->dedup_waits.Inc();
-      entry->ready_cv.wait(el, [&] { return entry->ready; });
+      while (!e->ready) e->ready_cv.Wait(e->mu);
     }
-    if (!entry->status.ok()) return entry->status;
+    if (!e->status.ok()) return e->status;
     metrics_->cache_hits.Inc();
     Acquired out;
     out.entry = std::move(entry);
@@ -68,18 +75,18 @@ StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
   }
 
   bool warm_start = false;
-  BuildEntry(key, entry.get(), train_seed, &warm_start);
+  BuildEntry(key, e, train_seed, &warm_start);
 
   Status status;
   {
-    std::lock_guard<std::mutex> el(entry->mu);
-    status = entry->status;
+    MutexLock el(&e->mu);
+    status = e->status;
   }
-  entry->ready_cv.notify_all();
+  e->ready_cv.NotifyAll();
   if (!status.ok()) {
     // Drop the failed bucket so a later request retries instead of being
     // pinned to the stale error.
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     auto it = models_.find(key);
     if (it != models_.end() && it->second.entry == entry) models_.erase(it);
     return status;
@@ -92,7 +99,7 @@ StatusOr<ModelRegistry::Acquired> ModelRegistry::Acquire(
 
 void ModelRegistry::BuildEntry(const ConstraintKey& key, ModelEntry* entry,
                                uint64_t train_seed, bool* warm_start) {
-  std::lock_guard<std::mutex> el(entry->mu);
+  MutexLock el(&entry->mu);
   LearnedSqlGenOptions opts = base_;
   opts.trainer.seed = train_seed;
   auto built = LearnedSqlGen::Create(db_, opts);
@@ -130,37 +137,50 @@ void ModelRegistry::BuildEntry(const ConstraintKey& key, ModelEntry* entry,
 
 void ModelRegistry::EvictIfNeeded() {
   while (models_.size() > options_.capacity) {
-    // LRU victim among entries that are ready and idle; busy or
-    // in-training entries are skipped (the map may transiently exceed
-    // capacity while every resident model is in use).
-    auto victim = models_.end();
-    for (auto it = models_.begin(); it != models_.end(); ++it) {
-      if (victim != models_.end() &&
-          it->second.last_used >= victim->second.last_used) {
-        continue;
-      }
-      std::unique_lock<std::mutex> el(it->second.entry->mu, std::try_to_lock);
-      if (el.owns_lock() && it->second.entry->ready &&
-          it->second.entry->status.ok()) {
-        victim = it;
-      }
+    // Visit candidates in LRU order; the first one whose mutex try-locks
+    // AND that is ready is the least-recently-used idle model. Probing and
+    // spilling happen under one and the same try-lock: the old two-phase
+    // form (probe, unlock, re-lock to spill) had a window where a worker
+    // holding the entry's shared_ptr could start generating between the
+    // probe and the spill, so the "evict only idle models" invariant was
+    // violated and — worse — the blocking re-lock could park the whole
+    // registry behind a multi-second generation.
+    std::vector<std::pair<uint64_t, ConstraintKey>> order;
+    order.reserve(models_.size());
+    for (const auto& [key, slot] : models_) {
+      order.emplace_back(slot.last_used, key);
     }
-    if (victim == models_.end()) return;
-    std::shared_ptr<ModelEntry> entry = victim->second.entry;
-    const ConstraintKey key = victim->first;
-    {
-      std::lock_guard<std::mutex> el(entry->mu);
-      if (!options_.spill_dir.empty() && entry->gen != nullptr) {
-        std::string path =
-            options_.spill_dir + "/" + key.ToString() + ".model";
-        if (Status s = entry->gen->SaveModel(path); !s.ok()) {
+    // last_used values are unique (a monotone clock), so first-only
+    // ordering is total.
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    bool evicted = false;
+    for (const auto& [used, key] : order) {
+      (void)used;
+      auto it = models_.find(key);
+      if (it == models_.end()) continue;
+      std::shared_ptr<ModelEntry> entry = it->second.entry;
+      ModelEntry* e = entry.get();
+      if (!e->mu.TryLock()) continue;  // busy or in training: skip
+      const bool idle = e->ready && e->status.ok();
+      if (idle && !options_.spill_dir.empty() && e->gen != nullptr) {
+        std::string path = options_.spill_dir + "/" + key.ToString() +
+                           ".model";
+        if (Status s = e->gen->SaveModel(path); !s.ok()) {
           LSG_LOG(Warning) << "spill of " << key.ToString() << " failed: "
                            << s.ToString();
         }
       }
+      e->mu.Unlock();
+      if (!idle) continue;
+      models_.erase(it);
+      metrics_->evictions.Inc();
+      evicted = true;
+      break;
     }
-    models_.erase(victim);
-    metrics_->evictions.Inc();
+    // Every resident model is busy or in training; the map transiently
+    // exceeds capacity until one of them quiesces.
+    if (!evicted) return;
   }
 }
 

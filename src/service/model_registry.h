@@ -1,13 +1,12 @@
 #ifndef LEARNEDSQLGEN_SERVICE_MODEL_REGISTRY_H_
 #define LEARNEDSQLGEN_SERVICE_MODEL_REGISTRY_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "core/generator.h"
 #include "service/constraint_key.h"
 #include "service/service_metrics.h"
@@ -19,12 +18,13 @@ namespace lsg {
 /// and `status` are also guarded by `mu` so concurrent requesters of the
 /// same bucket can wait on `ready_cv` while the first one trains.
 struct ModelEntry {
-  std::mutex mu;
-  std::condition_variable ready_cv;
-  bool ready = false;           ///< guarded by mu
-  Status status;                ///< train/load outcome; guarded by mu
-  std::unique_ptr<LearnedSqlGen> gen;  ///< guarded by mu
-  Constraint constraint;        ///< the first requester's exact constraint
+  Mutex mu;
+  CondVar ready_cv;
+  bool ready LSG_GUARDED_BY(mu) = false;
+  Status status LSG_GUARDED_BY(mu);  ///< train/load outcome
+  std::unique_ptr<LearnedSqlGen> gen LSG_GUARDED_BY(mu);
+  /// The first requester's exact constraint.
+  Constraint constraint LSG_GUARDED_BY(mu);
 };
 
 /// Constraint-keyed cache of trained pipelines with an LRU capacity bound.
@@ -39,7 +39,9 @@ struct ModelEntry {
 ///
 /// Thread-safe. Lock order is registry mutex -> entry mutex; callers that
 /// hold an entry's mutex (i.e. are generating) must not call back into the
-/// registry.
+/// registry. While holding registry_mu_ an entry's mutex is only ever
+/// *try*-locked (eviction), never blocked on, so a slow generation can
+/// never convoy the registry.
 class ModelRegistry {
  public:
   struct Options {
@@ -68,10 +70,11 @@ class ModelRegistry {
   /// reproducible at concurrency 1. Blocks while another caller trains the
   /// same bucket. On training failure the bucket is removed again so a
   /// later request can retry.
-  StatusOr<Acquired> Acquire(const Constraint& c, uint64_t train_seed);
+  StatusOr<Acquired> Acquire(const Constraint& c, uint64_t train_seed)
+      LSG_EXCLUDES(registry_mu_);
 
   /// Models currently resident (test/diagnostic hook).
-  size_t size() const;
+  size_t size() const LSG_EXCLUDES(registry_mu_);
 
   /// Spill filename a bucket would use ("" when spill is disabled).
   std::string SpillPathFor(const Constraint& c) const;
@@ -85,20 +88,26 @@ class ModelRegistry {
   /// Builds + trains (or disk-loads) the pipeline for `entry`. Called by
   /// the entry's creator without registry_mu_ held.
   void BuildEntry(const ConstraintKey& key, ModelEntry* entry,
-                  uint64_t train_seed, bool* warm_start);
+                  uint64_t train_seed, bool* warm_start)
+      LSG_EXCLUDES(registry_mu_);
 
-  /// Evicts LRU idle entries until size() <= capacity. Caller holds
-  /// registry_mu_.
-  void EvictIfNeeded();
+  /// Evicts LRU idle entries until size() <= capacity. An entry is only a
+  /// victim if its mutex can be try-locked AND it is ready, and the spill
+  /// happens under that same try-lock — probing and spilling are one
+  /// critical section, so an entry observed idle cannot become busy before
+  /// it is written out (and eviction never blocks behind a generating
+  /// worker while the whole registry is held).
+  void EvictIfNeeded() LSG_REQUIRES(registry_mu_);
 
   const Database* db_;
   LearnedSqlGenOptions base_;
   Options options_;
   ServiceMetrics* metrics_;
 
-  mutable std::mutex registry_mu_;
-  std::unordered_map<ConstraintKey, Slot, ConstraintKeyHash> models_;
-  uint64_t lru_clock_ = 0;
+  mutable Mutex registry_mu_;
+  std::unordered_map<ConstraintKey, Slot, ConstraintKeyHash> models_
+      LSG_GUARDED_BY(registry_mu_);
+  uint64_t lru_clock_ LSG_GUARDED_BY(registry_mu_) = 0;
 };
 
 }  // namespace lsg

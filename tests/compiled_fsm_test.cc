@@ -55,6 +55,7 @@ QueryProfile DmlProfile() {
 // 0 = sweep every state (nightly); tier-1 bounds the big datasets so the
 // suite stays fast while still checking thousands of states per table.
 uint32_t ExhaustiveCap() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
   return std::getenv("LSG_EXHAUSTIVE_FSM") != nullptr ? 0u : 1500u;
 }
 
@@ -448,6 +449,46 @@ TEST(CompiledFsmTest, CompileCapsAreEnforcedAndCacheIsKeyedByCaps) {
                 .get());
 }
 
+TEST(CompiledFsmTest, CacheDeduplicatesConcurrentCompiles) {
+  // Regression test for the memo-lock convoy: GetOrCompile used to hold
+  // the process-wide cache mutex across the whole CompileFsm call, so
+  // concurrent first requests serialized behind one compile (and, with a
+  // lock-hierarchy violation waiting to happen, took the logging mutex
+  // underneath it). The refactored cache compiles with the mutex released
+  // and deduplicates same-key requests through an in-progress slot: many
+  // threads asking for one key must trigger exactly one compile attempt
+  // and all receive the same shared artifact.
+  Database db = BuildScoreStudentDb();
+  auto vocab = Vocabulary::Build(db, VocabularyOptions());
+  ASSERT_TRUE(vocab.ok());
+  const QueryProfile profile = QueryProfile::SpjOnly();
+
+  CompiledFsmCache cache;  // standalone: counters start at zero
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CompiledFsmTable>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] =
+          cache.GetOrCompile(db, *vocab, profile, CompileFsmOptions(), "");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_NE(results[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get()) << "thread " << t;
+  }
+  const CompiledFsmCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.compiles, 1u);  // dedup: one attempt, not kThreads
+  EXPECT_EQ(stats.misses, 1u);
+  // Late arrivals count as hits, racers as dedup waits; together they
+  // account for every other request exactly once.
+  EXPECT_EQ(stats.hits + stats.dedup_waits,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
 TEST(CompiledFsmTest, SharedTableIsSafeAcrossWalkingThreads) {
   // One immutable table, many concurrently walking FSMs — the sharing
   // contract the generation service relies on. Run this binary under TSan
@@ -473,6 +514,7 @@ TEST(CompiledFsmTest, SharedTableIsSafeAcrossWalkingThreads) {
         fsm.Reset();
         auto ast = RandomWalkQuery(&fsm, &rng);
         if (ast.ok() && fsm.compiled_active()) {
+          // relaxed: independent tally, read only after join.
           ok_episodes.fetch_add(1, std::memory_order_relaxed);
         }
       }

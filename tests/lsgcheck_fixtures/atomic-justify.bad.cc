@@ -1,0 +1,6 @@
+// Violation: an explicit memory order with no justification comment.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+
+void Bump() { g_count.fetch_add(1, std::memory_order_relaxed); }

@@ -1,0 +1,13 @@
+// Clean: every explicit order carries an adjacent justification.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+
+void Bump() {
+  // relaxed: independent tally; no reader orders other data through it.
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+int Read() {
+  return g_count.load(std::memory_order_relaxed);  // relaxed: same tally
+}

@@ -1,0 +1,11 @@
+// Violation: a destructor takes a lock with no dtor-lock justification.
+#include "common/sync.h"
+
+struct Sink {
+  ~Sink() {
+    lsg::MutexLock lock(&mu);
+    open = false;
+  }
+  lsg::Mutex mu;
+  bool open LSG_GUARDED_BY(mu) = true;
+};

@@ -1,0 +1,13 @@
+// Clean: the destructor-time acquisition explains why it cannot cycle.
+#include "common/sync.h"
+
+struct Sink {
+  ~Sink() {
+    // dtor-lock: leaf mutex; the destructor only flips a flag, and the
+    // owner contract quiesces writers before destruction.
+    lsg::MutexLock lock(&mu);
+    open = false;
+  }
+  lsg::Mutex mu;
+  bool open LSG_GUARDED_BY(mu) = true;
+};

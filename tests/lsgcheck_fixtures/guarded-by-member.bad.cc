@@ -1,0 +1,7 @@
+// Violation: the annotation names a mutex that does not exist here.
+#include "common/sync.h"
+
+struct Queue {
+  int depth LSG_GUARDED_BY(queue_mu_) = 0;
+  lsg::Mutex mu_;
+};

@@ -1,0 +1,8 @@
+// Clean: every annotation names a Mutex declared in this file.
+#include "common/sync.h"
+
+struct Queue {
+  int depth LSG_GUARDED_BY(mu_) = 0;
+  int* slots LSG_PT_GUARDED_BY(mu_) = nullptr;
+  lsg::Mutex mu_;
+};

@@ -1,0 +1,7 @@
+// Violation: a detached thread outlives shutdown and races teardown.
+#include <thread>
+
+void FireAndForget() {
+  std::thread t([] {});
+  t.detach();
+}

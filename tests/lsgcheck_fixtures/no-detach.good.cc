@@ -1,0 +1,7 @@
+// Clean: every thread is joined before its owner goes away.
+#include <thread>
+
+void RunAndWait() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,11 @@
+// Violation: raw standard-library synchronization outside common/sync.h.
+#include <mutex>
+
+struct Counter {
+  void Add() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++n;
+  }
+  std::mutex mu;
+  int n = 0;
+};

@@ -1,0 +1,11 @@
+// Clean: synchronization goes through the annotated wrappers.
+#include "common/sync.h"
+
+struct Counter {
+  void Add() {
+    lsg::MutexLock lock(&mu);
+    ++n;
+  }
+  lsg::Mutex mu;
+  int n LSG_GUARDED_BY(mu) = 0;
+};

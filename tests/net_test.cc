@@ -8,11 +8,11 @@
 
 #include <chrono>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/admission.h"
 #include "net/frame_fsm.h"
 #include "net/net_client.h"
@@ -350,7 +350,7 @@ class ManualDispatcher : public RequestDispatcher {
   explicit ManualDispatcher(Mode mode) : mode_(mode) {}
 
   DispatchOutcome Dispatch(GenerationRequest request) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     DispatchOutcome out;
     if (mode_ == Mode::kQueueFull) {
       out.error = NetError::kQueueFull;
@@ -370,14 +370,14 @@ class ManualDispatcher : public RequestDispatcher {
   }
 
   size_t held() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return held_.size();
   }
 
   void FulfillAll() {
     std::vector<Held> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       batch.swap(held_);
     }
     for (Held& h : batch) h.promise.set_value(std::move(h.response));
@@ -388,9 +388,9 @@ class ManualDispatcher : public RequestDispatcher {
     std::promise<GenerationResponse> promise;
     GenerationResponse response;
   };
-  std::mutex mu_;
+  Mutex mu_;
   Mode mode_;
-  std::vector<Held> held_;
+  std::vector<Held> held_ LSG_GUARDED_BY(mu_);
 };
 
 NetServerOptions QuickOptions() {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "service/bounded_queue.h"
 #include "service/constraint_key.h"
 #include "service/generation_service.h"
@@ -201,7 +202,7 @@ TEST_F(RegistryTest, EvictedModelWarmStartsFromDisk) {
   EXPECT_EQ(metrics_.trainings.Value(), 2u);  // no third training
   EXPECT_EQ(metrics_.disk_warm_starts.Value(), 1u);
   {
-    std::lock_guard<std::mutex> lock(again->entry->mu);
+    MutexLock lock(&again->entry->mu);
     auto report = again->entry->gen->GenerateBatch(3);
     ASSERT_TRUE(report.ok());
     EXPECT_EQ(report->attempts, 3);
@@ -220,6 +221,78 @@ TEST_F(RegistryTest, EvictionWithoutSpillDirDiscards) {
   ASSERT_TRUE(registry.Acquire(CardRange(5, 50), 3).ok());
   EXPECT_EQ(metrics_.trainings.Value(), 3u);
   EXPECT_EQ(metrics_.disk_warm_starts.Value(), 0u);
+}
+
+TEST_F(RegistryTest, EvictionSkipsBusyEntriesAndNeverBlocks) {
+  // Regression test for the eviction TOCTOU fix: the old EvictIfNeeded
+  // probed a candidate with a try-lock, released it, then took a
+  // *blocking* lock to spill — a worker could start generating inside
+  // that window (so an in-use model got spilled and evicted), and the
+  // blocking re-lock could park the whole registry, registry_mu_ held,
+  // behind a multi-second generation. The one-pass form probes and
+  // spills under a single try-lock: a busy entry is skipped outright and
+  // the map transiently exceeds capacity instead.
+  ModelRegistry::Options ro;
+  ro.capacity = 1;
+  ro.spill_dir = TempDir("busy_spill");
+  ModelRegistry registry(&db_, FastOptions(), ro, &metrics_);
+
+  const Constraint a = CardRange(5, 50);
+  const Constraint b = CardPoint(10);
+  auto first = registry.Acquire(a, 1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Simulate a generation in flight exactly as GenerationService does: a
+  // *worker thread* holds A's entry mutex around GenerateBatch while other
+  // threads run Acquire. The busy lock must live on its own thread — the
+  // registry orders registry_mu_ before ModelEntry::mu, so a thread that
+  // calls Acquire may never already hold an entry mutex (doing it here on
+  // the main thread would itself be the lock-order inversion this PR's
+  // hierarchy forbids, and TSan's deadlock detector flags it).
+  Mutex step_mu;
+  CondVar step_cv;
+  bool busy = false;
+  bool release = false;
+  std::thread holder([&] {
+    first->entry->mu.Lock();
+    {
+      MutexLock lock(&step_mu);
+      busy = true;
+    }
+    step_cv.NotifyAll();
+    {
+      MutexLock lock(&step_mu);
+      while (!release) step_cv.Wait(step_mu);
+    }
+    first->entry->mu.Unlock();
+  });
+  {
+    MutexLock lock(&step_mu);
+    while (!busy) step_cv.Wait(step_mu);
+  }
+  // B overflows the single-slot cache while the only eviction candidate
+  // is busy. Under the old blocking re-lock this Acquire could stall
+  // until A quiesced; now it must complete, skipping A.
+  auto second = registry.Acquire(b, 2);
+  {
+    MutexLock lock(&step_mu);
+    release = true;
+  }
+  step_cv.NotifyAll();
+  holder.join();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(metrics_.evictions.Value(), 0u);  // busy A was skipped...
+  EXPECT_EQ(registry.size(), 2u);             // ...over capacity for now
+  EXPECT_FALSE(std::filesystem::exists(registry.SpillPathFor(a)));
+
+  // Once A quiesces, the next insertion evicts in LRU order — spilling
+  // under the very try-lock that proved each candidate idle.
+  ASSERT_TRUE(registry.Acquire(CardPoint(100000), 3).ok());
+  EXPECT_EQ(metrics_.evictions.Value(), 2u);  // A and B, both idle now
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(registry.SpillPathFor(a)));
+  EXPECT_TRUE(std::filesystem::exists(registry.SpillPathFor(b)));
+  std::filesystem::remove_all(ro.spill_dir);
 }
 
 // ----------------------------------------------------- GenerationService

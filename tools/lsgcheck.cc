@@ -1,0 +1,608 @@
+// lsgcheck: the repo's concurrency lint — a fast token-level scanner (no
+// libclang) enforcing the synchronization conventions that the Clang
+// thread-safety analysis cannot see or that must hold on every compiler:
+//
+//   raw-mutex          std::mutex / std::lock_guard / std::unique_lock /
+//                      std::condition_variable & friends (and their
+//                      includes) appear only in common/sync.h; everything
+//                      else goes through lsg::Mutex / MutexLock / CondVar
+//                      so the capability annotations are never bypassed.
+//   atomic-justify     every explicit std::memory_order_* carries an
+//                      adjacent justification comment ("relaxed: <why>",
+//                      "acquire: <why>", ...) on the same line or within
+//                      the four lines above it.
+//   no-detach          no .detach() — every thread is joined; detached
+//                      threads outlive shutdown and race teardown.
+//   dtor-lock          acquiring a lock inside a destructor requires an
+//                      adjacent "dtor-lock: <why>" comment (destructors
+//                      run during teardown, where lock cycles hide).
+//   guarded-by-member  every LSG_GUARDED_BY(x) / LSG_PT_GUARDED_BY(x)
+//                      names a Mutex declared in the same file, so an
+//                      annotation can't silently refer to nothing.
+//
+// String and character literals are stripped before matching (so this
+// file's own rule patterns don't trip it) and comments are matched only
+// by the justification rules. Per-line suppression:
+//
+//   some_code();  // lsgcheck: allow(raw-mutex)
+//
+// on the offending line or the line directly above disables that one rule
+// there ("allow(all)" disables every rule). Exit codes follow the lsglint
+// convention: 0 clean, 1 findings, 2 usage/internal error.
+//
+// Self-tests: --selftest <fixtures_dir> checks that each <rule>.bad.cc
+// fixture yields at least one finding of exactly that rule and each
+// <rule>.good.cc yields none; --inject-bug synthesizes one violation per
+// rule in memory and verifies the scanner reports it.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// One source line split into scannable halves: `code` has string/char
+// literal contents blanked out and comments removed; `comment` holds the
+// text of any comment on the line (line comments and the in-line parts of
+// block comments).
+struct ScanLine {
+  std::string code;
+  std::string comment;
+};
+
+// Splits `text` into ScanLines, tracking block comments and (single-line)
+// string/char literals. Raw strings are handled as ordinary strings —
+// good enough for a token lint; their contents are blanked either way on
+// quote parity.
+std::vector<ScanLine> Preprocess(const std::string& text) {
+  std::vector<ScanLine> out;
+  ScanLine cur;
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      in_string = in_char = false;  // unterminated literal: don't leak state
+      out.push_back(cur);
+      cur = ScanLine();
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      } else {
+        cur.comment += c;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      cur.comment.append(text, i + 2, text.find('\n', i) == std::string::npos
+                                          ? std::string::npos
+                                          : text.find('\n', i) - (i + 2));
+      i = text.find('\n', i);
+      if (i == std::string::npos) break;
+      --i;  // let the newline branch run
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      cur.code += '"';
+      continue;
+    }
+    if (c == '\'') {
+      // Digit separators (1'000'000) are not char literals.
+      const char prev = i > 0 ? text[i - 1] : '\0';
+      if (std::isalnum(static_cast<unsigned char>(prev))) {
+        continue;
+      }
+      in_char = true;
+      cur.code += '\'';
+      continue;
+    }
+    cur.code += c;
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Whole-token search: `needle` in `hay` with no identifier character on
+// either side (a qualifying "lsg::" prefix still matches).
+bool HasToken(const std::string& hay, const char* needle) {
+  const size_t n = std::strlen(needle);
+  size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    const char before = pos > 0 ? hay[pos - 1] : '\0';
+    const char after = pos + n < hay.size() ? hay[pos + n] : '\0';
+    if (!IsIdentChar(before) && !IsIdentChar(after)) return true;
+    pos += n;
+  }
+  return false;
+}
+
+bool CommentContains(const std::string& comment, const std::string& needle) {
+  return comment.find(needle) != std::string::npos;
+}
+
+// The justification window: the keyword may sit on the flagged line or on
+// one of the kJustifyWindow lines above it (block comments included).
+constexpr int kJustifyWindow = 4;
+
+bool JustifiedNearby(const std::vector<ScanLine>& lines, size_t at,
+                     const std::string& keyword) {
+  const size_t lo = at >= kJustifyWindow ? at - kJustifyWindow : 0;
+  for (size_t i = lo; i <= at; ++i) {
+    if (CommentContains(lines[i].comment, keyword)) return true;
+  }
+  return false;
+}
+
+bool Suppressed(const std::vector<ScanLine>& lines, size_t at,
+                const std::string& rule) {
+  for (size_t i = at >= 1 ? at - 1 : 0; i <= at; ++i) {
+    const std::string& c = lines[i].comment;
+    const size_t pos = c.find("lsgcheck: allow(");
+    if (pos == std::string::npos) continue;
+    const size_t open = pos + std::strlen("lsgcheck: allow(");
+    const size_t close = c.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string arg = c.substr(open, close - open);
+    if (arg == rule || arg == "all") return true;
+  }
+  return false;
+}
+
+std::string ExtractIdent(const std::string& s, size_t from) {
+  size_t end = from;
+  while (end < s.size() && IsIdentChar(s[end])) ++end;
+  return s.substr(from, end - from);
+}
+
+bool EndsWithPath(const std::string& path, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+}
+
+const char* const kRawMutexTokens[] = {
+    "std::mutex",          "std::recursive_mutex",
+    "std::timed_mutex",    "std::recursive_timed_mutex",
+    "std::shared_mutex",   "std::shared_timed_mutex",
+    "std::lock_guard",     "std::unique_lock",
+    "std::scoped_lock",    "std::shared_lock",
+    "std::condition_variable", "std::condition_variable_any",
+};
+
+const char* const kRawMutexIncludes[] = {
+    "<mutex>", "<shared_mutex>", "<condition_variable>"};
+
+const char* const kAllRules[] = {"raw-mutex", "atomic-justify", "no-detach",
+                                 "dtor-lock", "guarded-by-member"};
+
+void ScanBuffer(const std::string& path, const std::string& text,
+                std::vector<Finding>* findings) {
+  const bool is_sync_h = EndsWithPath(path, "common/sync.h");
+  const std::vector<ScanLine> lines = Preprocess(text);
+
+  // Pass 1: every Mutex declared in this file (members, globals, locals,
+  // reference/pointer parameters) for the guarded-by-member rule.
+  std::vector<std::string> mutex_names;
+  for (const ScanLine& ln : lines) {
+    size_t pos = 0;
+    while ((pos = ln.code.find("Mutex", pos)) != std::string::npos) {
+      const char before = pos > 0 ? ln.code[pos - 1] : '\0';
+      size_t after = pos + std::strlen("Mutex");
+      if (IsIdentChar(before)) {  // e.g. the middle of SomeMutexThing
+        pos = after;
+        continue;
+      }
+      // Skip declarator punctuation: "Mutex& mu", "Mutex* mu", "Mutex mu".
+      while (after < ln.code.size() &&
+             (ln.code[after] == ' ' || ln.code[after] == '&' ||
+              ln.code[after] == '*')) {
+        ++after;
+      }
+      if (after < ln.code.size() && IsIdentChar(ln.code[after]) &&
+          after > pos + std::strlen("Mutex")) {
+        const std::string name = ExtractIdent(ln.code, after);
+        if (name != "Lock" && !name.empty()) mutex_names.push_back(name);
+      }
+      pos += std::strlen("Mutex");
+    }
+  }
+  auto declared = [&mutex_names](const std::string& name) {
+    for (const std::string& m : mutex_names) {
+      if (m == name) return true;
+    }
+    return false;
+  };
+
+  // Pass 2: line rules, with a small amount of destructor-body tracking
+  // for dtor-lock.
+  int dtor_depth = -1;  // -1: not inside a destructor body
+  bool dtor_pending_open = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    const int lineno = static_cast<int>(i) + 1;
+    auto report = [&](const char* rule, std::string message) {
+      if (!Suppressed(lines, i, rule)) {
+        findings->push_back({path, lineno, rule, std::move(message)});
+      }
+    };
+
+    // --- destructor tracking -----------------------------------------
+    if (dtor_depth < 0 && !dtor_pending_open) {
+      // A destructor definition: "~Name(" with an empty parameter list
+      // and no '=' or "return" on the line (filters ~x bit-not usage,
+      // which virtually always has arguments or sits in an expression).
+      size_t tpos = code.find('~');
+      if (tpos != std::string::npos &&
+          code.find('=') == std::string::npos && !HasToken(code, "return")) {
+        const std::string name = ExtractIdent(code, tpos + 1);
+        if (!name.empty()) {
+          size_t paren = tpos + 1 + name.size();
+          while (paren < code.size() && code[paren] == ' ') ++paren;
+          if (paren < code.size() && code[paren] == '(') {
+            size_t close = paren + 1;
+            while (close < code.size() && code[close] == ' ') ++close;
+            if (close < code.size() && code[close] == ')') {
+              dtor_pending_open = true;  // body may open on a later line
+            }
+          }
+        }
+      }
+    }
+    bool line_in_dtor = dtor_depth >= 0;  // one-liners open AND close here
+    if (dtor_pending_open || dtor_depth >= 0) {
+      for (char c : code) {
+        if (c == '{') {
+          dtor_depth = dtor_depth < 0 ? 1 : dtor_depth + 1;
+          dtor_pending_open = false;
+          line_in_dtor = true;
+        } else if (c == '}') {
+          if (dtor_depth > 0 && --dtor_depth == 0) dtor_depth = -1;
+        } else if (c == ';' && dtor_pending_open && dtor_depth < 0) {
+          dtor_pending_open = false;  // declaration only, no body
+        }
+      }
+    }
+
+    // --- raw-mutex ----------------------------------------------------
+    if (!is_sync_h) {
+      for (const char* token : kRawMutexTokens) {
+        if (HasToken(code, token)) {
+          report("raw-mutex",
+                 std::string(token) +
+                     " outside common/sync.h; use lsg::Mutex / MutexLock / "
+                     "CondVar");
+        }
+      }
+      if (code.find("#include") != std::string::npos) {
+        for (const char* inc : kRawMutexIncludes) {
+          if (code.find(inc) != std::string::npos) {
+            report("raw-mutex", std::string("#include ") + inc +
+                                    " outside common/sync.h");
+          }
+        }
+      }
+    }
+
+    // --- atomic-justify -----------------------------------------------
+    size_t mo = 0;
+    while ((mo = code.find("memory_order_", mo)) != std::string::npos) {
+      const std::string order =
+          ExtractIdent(code, mo + std::strlen("memory_order_"));
+      mo += std::strlen("memory_order_");
+      if (order.empty()) continue;
+      if (!JustifiedNearby(lines, i, order + ":")) {
+        report("atomic-justify",
+               "memory_order_" + order + " without an adjacent \"" + order +
+                   ": <why>\" comment");
+      }
+    }
+
+    // --- no-detach ----------------------------------------------------
+    if (code.find(".detach()") != std::string::npos ||
+        code.find("->detach()") != std::string::npos) {
+      report("no-detach", "detached thread; join it instead");
+    }
+
+    // --- dtor-lock ----------------------------------------------------
+    bool acquires = code.find(".Lock()") != std::string::npos ||
+                    code.find("->Lock()") != std::string::npos;
+    {
+      // A MutexLock *declaration*; "~MutexLock" (the wrapper's own
+      // destructor) is not an acquisition.
+      size_t mpos = 0;
+      while (!acquires &&
+             (mpos = code.find("MutexLock", mpos)) != std::string::npos) {
+        const char before = mpos > 0 ? code[mpos - 1] : '\0';
+        const size_t after = mpos + std::strlen("MutexLock");
+        acquires = !IsIdentChar(before) && before != '~' &&
+                   (after >= code.size() || !IsIdentChar(code[after]));
+        mpos = after;
+      }
+    }
+    if (line_in_dtor && acquires) {
+      if (!JustifiedNearby(lines, i, "dtor-lock:")) {
+        report("dtor-lock",
+               "lock acquired in a destructor without an adjacent "
+               "\"dtor-lock: <why>\" comment");
+      }
+    }
+
+    // --- guarded-by-member --------------------------------------------
+    // Preprocessor definitions (the macros themselves) are not uses.
+    const size_t first_nonspace = code.find_first_not_of(" \t");
+    if (first_nonspace != std::string::npos && code[first_nonspace] == '#') {
+      continue;
+    }
+    for (const char* macro : {"LSG_GUARDED_BY", "LSG_PT_GUARDED_BY"}) {
+      size_t gpos = 0;
+      while ((gpos = code.find(macro, gpos)) != std::string::npos) {
+        const char before = gpos > 0 ? code[gpos - 1] : '\0';
+        size_t open = gpos + std::strlen(macro);
+        gpos = open;
+        if (IsIdentChar(before)) continue;  // LSG_PT_GUARDED_BY vs GUARDED_BY
+        if (open >= code.size() || code[open] != '(') continue;
+        const std::string arg = ExtractIdent(code, open + 1);
+        const size_t close = open + 1 + arg.size();
+        // Only plain identifiers are checked; expressions (this->mu,
+        // other.mu) are beyond a token lint.
+        if (arg.empty() || close >= code.size() || code[close] != ')') {
+          continue;
+        }
+        if (!declared(arg)) {
+          report("guarded-by-member",
+                 std::string(macro) + "(" + arg +
+                     ") names no Mutex declared in this file");
+        }
+      }
+    }
+  }
+}
+
+bool ScanFile(const std::string& path, std::vector<Finding>* findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "lsgcheck: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ScanBuffer(path, buf.str(), findings);
+  return true;
+}
+
+bool ScannableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Collects files under each root (a file argument is taken as-is). The
+// lint fixtures are violations on purpose; directory walks skip them.
+bool CollectFiles(const std::vector<std::string>& roots,
+                  std::vector<std::string>* files) {
+  namespace fs = std::filesystem;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files->push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "lsgcheck: no such file or directory: %s\n",
+                   root.c_str());
+      return false;
+    }
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string p = it->path().string();
+      if (p.find("lsgcheck_fixtures") != std::string::npos) continue;
+      if (ScannableExtension(it->path())) files->push_back(p);
+    }
+    if (ec) {
+      std::fprintf(stderr, "lsgcheck: error walking %s: %s\n", root.c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void PrintFindings(const std::vector<Finding>& findings, bool json) {
+  if (json) {
+    std::printf("[");
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::printf("%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+                  "\"message\": \"%s\"}",
+                  i == 0 ? "" : ",", JsonEscape(f.file).c_str(), f.line,
+                  f.rule.c_str(), JsonEscape(f.message).c_str());
+    }
+    std::printf("%s]\n", findings.empty() ? "" : "\n");
+    return;
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+}
+
+// --selftest: every fixture pair must behave as named.
+int RunSelftest(const std::string& fixtures_dir) {
+  int failures = 0;
+  for (const char* rule : kAllRules) {
+    const std::string bad = fixtures_dir + "/" + rule + ".bad.cc";
+    const std::string good = fixtures_dir + "/" + rule + ".good.cc";
+
+    std::vector<Finding> bad_findings;
+    if (!ScanFile(bad, &bad_findings)) {
+      std::printf("FAIL %s: fixture missing\n", bad.c_str());
+      ++failures;
+    } else {
+      bool hit = false;
+      for (const Finding& f : bad_findings) hit = hit || f.rule == rule;
+      if (!hit) {
+        std::printf("FAIL %s: expected a %s finding, got %zu other(s)\n",
+                    bad.c_str(), rule, bad_findings.size());
+        ++failures;
+      } else {
+        std::printf("PASS %s (%zu finding(s))\n", bad.c_str(),
+                    bad_findings.size());
+      }
+    }
+
+    std::vector<Finding> good_findings;
+    if (!ScanFile(good, &good_findings)) {
+      std::printf("FAIL %s: fixture missing\n", good.c_str());
+      ++failures;
+    } else if (!good_findings.empty()) {
+      std::printf("FAIL %s: expected clean, got:\n", good.c_str());
+      PrintFindings(good_findings, /*json=*/false);
+      ++failures;
+    } else {
+      std::printf("PASS %s (clean)\n", good.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// --inject-bug: prove each rule fires on a synthesized violation, with no
+// fixture files involved — a canary for the scanner core itself.
+int RunInjectBug() {
+  struct Injection {
+    const char* rule;
+    const char* source;
+  };
+  const Injection injections[] = {
+      {"raw-mutex", "void f() { std::mutex m; }\n"},
+      {"atomic-justify",
+       "void f() { x.store(1, std::memory_order_relaxed); }\n"},
+      {"no-detach", "void f() { t.detach(); }\n"},
+      {"dtor-lock", "Foo::~Foo() { MutexLock lock(&mu_); }\n"},
+      {"guarded-by-member", "struct S { int x LSG_GUARDED_BY(mu_); };\n"},
+  };
+  int failures = 0;
+  for (const Injection& inj : injections) {
+    std::vector<Finding> findings;
+    ScanBuffer("<injected>", inj.source, &findings);
+    bool hit = false;
+    for (const Finding& f : findings) hit = hit || f.rule == inj.rule;
+    if (hit) {
+      std::printf("PASS inject %s\n", inj.rule);
+    } else {
+      std::printf("FAIL inject %s: scanner missed the seeded violation\n",
+                  inj.rule);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: lsgcheck [--json] <file-or-dir>...\n"
+      "       lsgcheck --selftest <fixtures_dir>\n"
+      "       lsgcheck --inject-bug\n"
+      "       lsgcheck --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--selftest") {
+      if (i + 1 >= argc) return Usage();
+      return RunSelftest(argv[i + 1]);
+    } else if (arg == "--inject-bug") {
+      return RunInjectBug();
+    } else if (arg == "--list-rules") {
+      for (const char* rule : kAllRules) std::printf("%s\n", rule);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return Usage();
+
+  std::vector<std::string> files;
+  if (!CollectFiles(roots, &files)) return 2;
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    if (!ScanFile(f, &findings)) return 2;
+  }
+  PrintFindings(findings, json);
+  if (!json) {
+    std::printf("lsgcheck: %zu file(s), %zu finding(s)\n", files.size(),
+                findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

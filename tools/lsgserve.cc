@@ -44,6 +44,8 @@ namespace {
 std::atomic<bool> g_drain{false};
 
 void DrainSignalHandler(int signo) {
+  // relaxed: level-semantic drain flag set from a signal handler; the
+  // polling loop re-reads it and no payload rides on the store.
   g_drain.store(true, std::memory_order_relaxed);
   struct sigaction dfl {};
   dfl.sa_handler = SIG_DFL;
@@ -245,6 +247,7 @@ int main(int argc, char** argv) {
   std::vector<std::future<GenerationResponse>> futures;
   futures.reserve(batch.size());
   for (ParsedRequest& p : batch) {
+    // relaxed: pairs with the level-semantic store in the signal handler.
     if (g_drain.load(std::memory_order_relaxed)) break;
     if (fail_fast) {
       auto f = (*service)->TrySubmit(p.request);

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Umbrella static-analysis driver (the `check-static` CMake target).
+#
+#   usage: run_static_analysis.sh <repo_root> <lsgcheck_binary>
+#
+# Always runs (toolchain-independent):
+#   1. lsgcheck --inject-bug        scanner-core canary
+#   2. lsgcheck --selftest          fixture pair per rule
+#   3. lsgcheck over src/tests/tools/bench — the real gate
+#
+# Runs when the toolchain provides it, is skipped with a notice otherwise
+# (the baseline image is GCC-only; Clang developers get the full set):
+#   4. a -Wthread-safety -Werror compile of the tree (clang++)
+#   5. clang-tidy over the compilation database (checks from .clang-tidy)
+#
+# Exits nonzero on the first failing step.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <repo_root> <lsgcheck_binary>" >&2
+  exit 2
+fi
+root=$1
+lsgcheck=$2
+
+echo "== lsgcheck --inject-bug"
+"$lsgcheck" --inject-bug
+
+echo "== lsgcheck --selftest"
+"$lsgcheck" --selftest "$root/tests/lsgcheck_fixtures"
+
+echo "== lsgcheck (full tree)"
+"$lsgcheck" "$root/src" "$root/tests" "$root/tools" "$root/bench"
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang++ -Wthread-safety build"
+  tsdir="$root/build-threadsafety"
+  cmake -B "$tsdir" -S "$root" -DCMAKE_CXX_COMPILER=clang++ \
+        -DLSG_THREAD_SAFETY=ON
+  cmake --build "$tsdir" -j
+else
+  echo "== clang++ not found; skipping the -Wthread-safety build"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (checks from .clang-tidy)"
+  db_dir=""
+  for candidate in "$root/build" "$root/build-threadsafety"; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      db_dir=$candidate
+      break
+    fi
+  done
+  if [ -z "$db_dir" ]; then
+    echo "no compile_commands.json found; configure a build tree first" >&2
+    exit 1
+  fi
+  find "$root/src" "$root/tools" -name '*.cc' -print |
+    xargs clang-tidy -p "$db_dir" --quiet
+else
+  echo "== clang-tidy not found; skipping"
+fi
+
+echo "check-static: all available analyses passed"
