@@ -1,10 +1,13 @@
 #include "core/environment.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "fsm/compiled_fsm.h"
+#include "vexec/backend_factory.h"
 #include "obs/episode_telemetry.h"
 #include "obs/metrics_registry.h"
 #include "obs/span_tracer.h"
@@ -24,7 +27,8 @@ SqlGenEnvironment::SqlGenEnvironment(const Database* db,
       reward_(constraint),
       options_(options),
       fsm_(db, vocab, options.profile),
-      executor_(db),
+      backend_(vexec::MakeBackend(options.execution_backend, db,
+                                  {.workers = options.vexec_workers})),
       prefix_est_(estimator, cost_model),
       constraint_str_(constraint.ToString()) {
   LSG_CHECK(estimator != nullptr && cost_model != nullptr);
@@ -71,15 +75,20 @@ double SqlGenEnvironment::MetricOf(const QueryAst& ast) const {
           : nullptr);
   if (options_.feedback == FeedbackSource::kTrueExecution) {
     if (reward_.constraint().metric == ConstraintMetric::kCardinality) {
-      auto card = executor_.Cardinality(ast);
-      return card.ok() ? static_cast<double>(*card) : 0.0;
+      auto card = backend_->Cardinality(ast);
+      if (!card.ok()) return 0.0;
+      const double m = static_cast<double>(*card);
+      RecordFeedbackGap(ast, m, /*cardinality_metric=*/true);
+      return m;
     }
     // True cost: run the query and price the measured operator work.
     if (ast.type == QueryType::kSelect && ast.select != nullptr) {
-      auto r = executor_.ExecuteSelect(*ast.select, /*materialize=*/false);
+      auto r = backend_->ExecuteSelect(*ast.select, /*materialize=*/false);
       if (!r.ok()) return 0.0;
-      return cost_model_->TrueCost(r->stats,
-                                   static_cast<double>(r->cardinality));
+      const double m = cost_model_->TrueCost(
+          r->stats, static_cast<double>(r->cardinality));
+      RecordFeedbackGap(ast, m, /*cardinality_metric=*/false);
+      return m;
     }
     // DML true cost falls back to the estimate (dry-run writes are not
     // priced by measurement).
@@ -98,6 +107,25 @@ double SqlGenEnvironment::MetricOf(const QueryAst& ast) const {
   }
   if (card) return estimator_->EstimateCardinality(ast);
   return cost_model_->EstimateCost(ast);
+}
+
+void SqlGenEnvironment::RecordFeedbackGap(const QueryAst& ast,
+                                          double measured,
+                                          bool cardinality_metric) const {
+  if (!obs::Enabled()) return;
+  // The estimator walk is re-run here purely for the gap metric, so the
+  // cost of quantifying estimate-vs-true disagreement is only paid while
+  // observability is on.
+  const double est = cardinality_metric
+                         ? estimator_->EstimateCardinality(ast)
+                         : cost_model_->EstimateCost(ast);
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("env.true_feedback_calls").Inc();
+  const double gap = std::fabs(est - measured);
+  reg.GetHistogram(cardinality_metric ? "env.feedback_gap_card"
+                                      : "env.feedback_gap_cost")
+      .Record(static_cast<uint64_t>(
+          std::llround(std::min(gap, 1e18))));
 }
 
 double SqlGenEnvironment::StepMetric() {

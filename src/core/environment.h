@@ -2,8 +2,10 @@
 #define LEARNEDSQLGEN_CORE_ENVIRONMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "exec/backend.h"
 #include "exec/executor.h"
 #include "fsm/generation_fsm.h"
 #include "optimizer/cost_model.h"
@@ -41,6 +43,18 @@ struct EnvironmentOptions {
   /// fuzz oracle, and on every step when LSG_CHECK_INCREMENTAL=1 is set).
   /// Disable to force full re-walks on every step.
   bool incremental_prefix_estimates = true;
+
+  /// Which engine serves true-execution feedback (and MetricOf true-cost
+  /// runs): the reference Executor or the vectorized batch engine
+  /// (src/vexec/). Results are bitwise identical — the vectorized engine
+  /// is differentially tested against the reference on every fuzz episode
+  /// — so this is purely a throughput choice; vectorized is what makes
+  /// execution-grounded feedback affordable at 10⁵–10⁶-row scale.
+  ExecutionBackendKind execution_backend = ExecutionBackendKind::kReference;
+
+  /// Morsel parallelism for the vectorized backend (including the calling
+  /// thread). Ignored by the reference backend.
+  int vexec_workers = 1;
 
   /// Optional compiled mask/transition table (fsm/compiled_fsm.h): mask
   /// lookups become indexed loads instead of grammar + semantic-rule
@@ -80,6 +94,18 @@ class SqlGenEnvironment : public Environment {
   /// Number of feedback evaluations so far (efficiency accounting).
   int64_t feedback_calls() const { return feedback_calls_; }
 
+  /// Switches the feedback source mid-training (the mixed-feedback
+  /// curriculum: cheap estimator feedback early, execution-grounded
+  /// feedback for the tail epochs — LearnedSqlGenOptions::
+  /// true_feedback_tail). Takes effect from the next metric evaluation.
+  void SetFeedbackSource(FeedbackSource source) {
+    options_.feedback = source;
+  }
+  FeedbackSource feedback_source() const { return options_.feedback; }
+
+  /// The engine answering true-execution queries for this environment.
+  const ExecutionBackend& backend() const { return *backend_; }
+
  private:
   /// Emits the completed episode's telemetry row to the global episode
   /// sink (no-op unless obs::Enabled() and a sink is installed).
@@ -89,6 +115,12 @@ class SqlGenEnvironment : public Environment {
   /// otherwise MetricOf (which consults the cache).
   double StepMetric();
 
+  /// Records the estimate-vs-true feedback gap for a measured metric
+  /// (obs registry: env.feedback_gap histogram + counters). No-op unless
+  /// obs::Enabled() — the extra estimator walk is only paid when observed.
+  void RecordFeedbackGap(const QueryAst& ast, double measured,
+                         bool cardinality_metric) const;
+
   const Database* db_;
   const Vocabulary* vocab_;
   const CardinalityEstimator* estimator_;
@@ -96,7 +128,7 @@ class SqlGenEnvironment : public Environment {
   RewardFunction reward_;
   EnvironmentOptions options_;
   GenerationFsm fsm_;
-  Executor executor_;
+  std::unique_ptr<ExecutionBackend> backend_;
   PrefixEstimator prefix_est_;
   bool check_incremental_;  ///< LSG_CHECK_INCREMENTAL=1 debug cross-check
   mutable int64_t feedback_calls_ = 0;

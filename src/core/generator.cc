@@ -1,5 +1,7 @@
 #include "core/generator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -44,6 +46,8 @@ Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
   env_opts.feedback_cache = options_.feedback_cache;
   env_opts.incremental_prefix_estimates =
       options_.incremental_prefix_estimates;
+  env_opts.execution_backend = options_.execution_backend;
+  env_opts.vexec_workers = options_.vexec_workers;
   env_opts.compiled_fsm = options_.compiled_fsm;
   if (env_opts.compiled_fsm == nullptr && options_.use_compiled_fsm) {
     if (compiled_fsm_ == nullptr) {
@@ -60,21 +64,50 @@ Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
   reinforce_trainer_.reset();
   trace_.clear();
   Stopwatch watch;
+
+  // Mixed-feedback curriculum: the final ceil(epochs · true_feedback_tail)
+  // epochs flip the environment to execution-grounded feedback. Epochs
+  // before the switch keep the estimator (+ cache) signal.
+  int switch_epoch = epochs;
+  if (options_.feedback != FeedbackSource::kTrueExecution &&
+      options_.true_feedback_tail > 0.0) {
+    const double frac = std::min(options_.true_feedback_tail, 1.0);
+    const int tail = std::min(
+        epochs, static_cast<int>(std::ceil(epochs * frac)));
+    switch_epoch = epochs - tail;
+  }
+  auto epoch_begin = [&](int e) {
+    if (e == switch_epoch &&
+        env_->feedback_source() != FeedbackSource::kTrueExecution) {
+      env_->SetFeedbackSource(FeedbackSource::kTrueExecution);
+      LSG_LOG(Info) << "epoch " << e << ": switching to execution-grounded "
+                    << "feedback (" << env_->backend().name()
+                    << " backend)";
+    }
+  };
+  auto record = [&](EpochStats st) {
+    st.true_execution_feedback =
+        env_->feedback_source() == FeedbackSource::kTrueExecution;
+    trace_.push_back(st);
+  };
+
   if (options_.use_reinforce) {
     reinforce_trainer_ =
         std::make_unique<ReinforceTrainer>(env_.get(), options_.trainer);
     for (int e = 0; e < epochs; ++e) {
+      epoch_begin(e);
       auto st = reinforce_trainer_->TrainEpoch();
       if (!st.ok()) return st.status();
-      trace_.push_back(*st);
+      record(*st);
     }
   } else {
     ac_trainer_ =
         std::make_unique<ActorCriticTrainer>(env_.get(), options_.trainer);
     for (int e = 0; e < epochs; ++e) {
+      epoch_begin(e);
       auto st = ac_trainer_->TrainEpoch();
       if (!st.ok()) return st.status();
-      trace_.push_back(*st);
+      record(*st);
     }
   }
   // Inference uses the best checkpoint seen during training (guards

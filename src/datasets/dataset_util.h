@@ -20,9 +20,30 @@ struct DatasetScale {
   double factor = 1.0;   ///< multiplies all table row counts
   uint64_t seed = 20220612;  ///< SIGMOD'22 ;-)
 
+  /// Hard ceiling on one table's rows. Keeps the largest bundled base
+  /// table at factor 1000 (~3·10⁶ rows) in range and makes absurd factors
+  /// saturate instead of overflowing the int conversion below.
+  static constexpr int kMaxRowsPerTable = 8'000'000;
+
+  /// Scaled row count: floor(base · factor), clamped to [2,
+  /// kMaxRowsPerTable]. The product is computed in double and clamped
+  /// *before* the int cast — `static_cast<int>(huge double)` is UB, so a
+  /// factor like 1e12 must never reach the cast. factor == 1.0 is exactly
+  /// `base` (bit-identical datasets; the default everywhere).
   int Rows(int base) const {
-    int n = static_cast<int>(base * factor);
-    return n < 2 ? 2 : n;
+    double n = static_cast<double>(base) * factor;
+    if (!(n >= 2.0)) return 2;  // NaN and sub-minimum both floor to 2
+    if (n > static_cast<double>(kMaxRowsPerTable)) return kMaxRowsPerTable;
+    return static_cast<int>(n);
+  }
+
+  /// Named constructor for execution-grounded runs at 10⁵–10⁶-row scale:
+  /// same seed default, so RowScale(1.0) reproduces the seed datasets
+  /// bit-for-bit.
+  static DatasetScale RowScale(double row_scale) {
+    DatasetScale s;
+    s.factor = row_scale;
+    return s;
   }
 };
 

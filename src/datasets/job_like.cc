@@ -75,6 +75,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("title", {Pk("id"), Str("title"), Int("kind_id"),
                                  Int("production_year")}));
+    t.ReserveRows(static_cast<size_t>(n_title));
     for (int i = 0; i < n_title; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("Title", i)),
@@ -87,6 +88,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   // name
   {
     Table t(MakeSchema("name", {Pk("id"), Str("name"), Cat("gender")}));
+    t.ReserveRows(static_cast<size_t>(n_name));
     for (int i = 0; i < n_name; ++i) {
       LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}),
                                 Value(SynthName("Person", i)),
@@ -98,6 +100,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   // char_name
   {
     Table t(MakeSchema("char_name", {Pk("id"), Str("name")}));
+    t.ReserveRows(static_cast<size_t>(n_char));
     for (int i = 0; i < n_char; ++i) {
       LSG_CHECK_OK(
           t.AppendRow({Value(int64_t{i}), Value(SynthName("Char", i))}));
@@ -109,6 +112,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("company_name",
                        {Pk("id"), Str("name"), Cat("country_code")}));
+    t.ReserveRows(static_cast<size_t>(n_company));
     for (int i = 0; i < n_company; ++i) {
       LSG_CHECK_OK(t.AppendRow({Value(int64_t{i}),
                                 Value(SynthName("Company", i)),
@@ -120,6 +124,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   // keyword
   {
     Table t(MakeSchema("keyword", {Pk("id"), Str("keyword")}));
+    t.ReserveRows(static_cast<size_t>(n_keyword));
     for (int i = 0; i < n_keyword; ++i) {
       LSG_CHECK_OK(
           t.AppendRow({Value(int64_t{i}), Value(SynthName("kw", i))}));
@@ -130,6 +135,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   // aka_name / aka_title
   {
     Table t(MakeSchema("aka_name", {Pk("id"), Int("person_id"), Str("name")}));
+    t.ReserveRows(static_cast<size_t>(n_aka_name));
     for (int i = 0; i < n_aka_name; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_name))),
@@ -139,6 +145,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   }
   {
     Table t(MakeSchema("aka_title", {Pk("id"), Int("movie_id"), Str("title")}));
+    t.ReserveRows(static_cast<size_t>(n_aka_title));
     for (int i = 0; i < n_aka_title; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_title))),
@@ -153,6 +160,7 @@ Database BuildJobLike(const DatasetScale& scale) {
                        {Pk("id"), Int("person_id"), Int("movie_id"),
                         Int("person_role_id"), Int("role_id"),
                         Int("nr_order")}));
+    t.ReserveRows(static_cast<size_t>(n_cast));
     for (int i = 0; i < n_cast; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -170,6 +178,7 @@ Database BuildJobLike(const DatasetScale& scale) {
     Table t(MakeSchema("complete_cast",
                        {Pk("id"), Int("movie_id"), Int("subject_id"),
                         Int("status_id")}));
+    t.ReserveRows(static_cast<size_t>(n_complete));
     for (int i = 0; i < n_complete; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_title))),
@@ -184,6 +193,7 @@ Database BuildJobLike(const DatasetScale& scale) {
     Table t(MakeSchema("movie_companies",
                        {Pk("id"), Int("movie_id"), Int("company_id"),
                         Int("company_type_id")}));
+    t.ReserveRows(static_cast<size_t>(n_mc));
     for (int i = 0; i < n_mc; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -198,6 +208,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("movie_info", {Pk("id"), Int("movie_id"),
                                       Int("info_type_id"), Str("info")}));
+    t.ReserveRows(static_cast<size_t>(n_mi));
     for (int i = 0; i < n_mi; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -211,6 +222,7 @@ Database BuildJobLike(const DatasetScale& scale) {
     Table t(MakeSchema("movie_info_idx",
                        {Pk("id"), Int("movie_id"), Int("info_type_id"),
                         Dbl("info")}));
+    t.ReserveRows(static_cast<size_t>(n_mi_idx));
     for (int i = 0; i < n_mi_idx; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -225,6 +237,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("movie_keyword",
                        {Pk("id"), Int("movie_id"), Int("keyword_id")}));
+    t.ReserveRows(static_cast<size_t>(n_mk));
     for (int i = 0; i < n_mk; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -239,6 +252,7 @@ Database BuildJobLike(const DatasetScale& scale) {
     Table t(MakeSchema("movie_link",
                        {Pk("id"), Int("movie_id"), Int("linked_movie_id"),
                         Int("link_type_id")}));
+    t.ReserveRows(static_cast<size_t>(n_ml));
     for (int i = 0; i < n_ml; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(n_title))),
@@ -252,6 +266,7 @@ Database BuildJobLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("person_info", {Pk("id"), Int("person_id"),
                                        Int("info_type_id"), Str("info")}));
+    t.ReserveRows(static_cast<size_t>(n_pi));
     for (int i = 0; i < n_pi; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),

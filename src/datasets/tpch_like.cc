@@ -61,6 +61,7 @@ Database BuildTpchLike(const DatasetScale& scale) {
     Table t(MakeSchema("supplier",
                        {Pk("s_suppkey"), Str("s_name"), Int("s_nationkey"),
                         Dbl("s_acctbal")}));
+    t.ReserveRows(static_cast<size_t>(n_supplier));
     for (int i = 0; i < n_supplier; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("Supplier", i)),
@@ -75,6 +76,7 @@ Database BuildTpchLike(const DatasetScale& scale) {
     Table t(MakeSchema("customer",
                        {Pk("c_custkey"), Str("c_name"), Int("c_nationkey"),
                         Dbl("c_acctbal"), Cat("c_mktsegment")}));
+    t.ReserveRows(static_cast<size_t>(n_customer));
     for (int i = 0; i < n_customer; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("Customer", i)),
@@ -90,6 +92,7 @@ Database BuildTpchLike(const DatasetScale& scale) {
     Table t(MakeSchema("part", {Pk("p_partkey"), Str("p_name"),
                                 Cat("p_brand"), Int("p_size"),
                                 Dbl("p_retailprice")}));
+    t.ReserveRows(static_cast<size_t>(n_part));
     for (int i = 0; i < n_part; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("Part", i)),
@@ -105,6 +108,7 @@ Database BuildTpchLike(const DatasetScale& scale) {
     Table t(MakeSchema("partsupp",
                        {Pk("ps_id"), Int("ps_partkey"), Int("ps_suppkey"),
                         Int("ps_availqty"), Dbl("ps_supplycost")}));
+    t.ReserveRows(static_cast<size_t>(n_partsupp));
     for (int i = 0; i < n_partsupp; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -122,6 +126,7 @@ Database BuildTpchLike(const DatasetScale& scale) {
                        {Pk("o_orderkey"), Int("o_custkey"),
                         Cat("o_orderstatus"), Dbl("o_totalprice"),
                         Int("o_orderdate"), Cat("o_orderpriority")}));
+    t.ReserveRows(static_cast<size_t>(n_orders));
     for (int i = 0; i < n_orders; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -141,6 +146,7 @@ Database BuildTpchLike(const DatasetScale& scale) {
         {Pk("l_id"), Int("l_orderkey"), Int("l_partkey"), Int("l_suppkey"),
          Int("l_quantity"), Dbl("l_extendedprice"), Dbl("l_discount"),
          Cat("l_returnflag"), Cat("l_shipmode"), Int("l_shipdate")}));
+    t.ReserveRows(static_cast<size_t>(n_lineitem));
     for (int i = 0; i < n_lineitem; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),

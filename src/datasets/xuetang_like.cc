@@ -51,6 +51,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
     Table t(MakeSchema("users", {Pk("user_id"), Str("name"), Cat("gender"),
                                  Int("age"), Cat("degree"),
                                  Int("school_id")}));
+    t.ReserveRows(static_cast<size_t>(n_user));
     for (int i = 0; i < n_user; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("User", i)),
@@ -65,6 +66,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("teacher", {Pk("teacher_id"), Str("name"),
                                    Int("school_id"), Dbl("rating")}));
+    t.ReserveRows(static_cast<size_t>(n_teacher));
     for (int i = 0; i < n_teacher; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("Teacher", i)),
@@ -79,6 +81,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
                        {Pk("course_id"), Str("title"), Cat("category"),
                         Cat("level"), Int("teacher_id"), Dbl("price"),
                         Int("duration_weeks")}));
+    t.ReserveRows(static_cast<size_t>(n_course));
     for (int i = 0; i < n_course; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}), Value(SynthName("Course", i)),
@@ -94,6 +97,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("chapter", {Pk("chapter_id"), Int("course_id"),
                                    Int("seq"), Str("title")}));
+    t.ReserveRows(static_cast<size_t>(n_chapter));
     for (int i = 0; i < n_chapter; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -107,6 +111,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("video", {Pk("video_id"), Int("chapter_id"),
                                  Int("length_sec")}));
+    t.ReserveRows(static_cast<size_t>(n_video));
     for (int i = 0; i < n_video; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -121,6 +126,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
                        {Pk("enroll_id"), Int("user_id"), Int("course_id"),
                         Cat("status"), Int("enroll_date"),
                         Dbl("progress")}));
+    t.ReserveRows(static_cast<size_t>(n_enroll));
     for (int i = 0; i < n_enroll; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -137,6 +143,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
     Table t(MakeSchema("video_watch",
                        {Pk("watch_id"), Int("user_id"), Int("video_id"),
                         Int("watch_sec"), Int("watch_date")}));
+    t.ReserveRows(static_cast<size_t>(n_watch));
     for (int i = 0; i < n_watch; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -151,6 +158,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("exam", {Pk("exam_id"), Int("course_id"),
                                 Dbl("full_score"), Int("duration_min")}));
+    t.ReserveRows(static_cast<size_t>(n_exam));
     for (int i = 0; i < n_exam; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -164,6 +172,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
     Table t(MakeSchema("exam_record",
                        {Pk("record_id"), Int("exam_id"), Int("user_id"),
                         Dbl("score"), Cat("grade")}));
+    t.ReserveRows(static_cast<size_t>(n_exam_rec));
     for (int i = 0; i < n_exam_rec; ++i) {
       double score =
           std::min(100.0, std::max(0.0, rng.Normal(72.0, 18.0)));
@@ -184,6 +193,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("assignment", {Pk("assign_id"), Int("course_id"),
                                       Int("deadline"), Dbl("weight")}));
+    t.ReserveRows(static_cast<size_t>(n_assign));
     for (int i = 0; i < n_assign; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -198,6 +208,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
     Table t(MakeSchema("submission",
                        {Pk("submit_id"), Int("assign_id"), Int("user_id"),
                         Dbl("score"), Int("submit_date")}));
+    t.ReserveRows(static_cast<size_t>(n_submit));
     for (int i = 0; i < n_submit; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -215,6 +226,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("forum_thread", {Pk("thread_id"), Int("course_id"),
                                         Int("user_id"), Str("title")}));
+    t.ReserveRows(static_cast<size_t>(n_thread));
     for (int i = 0; i < n_thread; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),
@@ -228,6 +240,7 @@ Database BuildXuetangLike(const DatasetScale& scale) {
   {
     Table t(MakeSchema("forum_post", {Pk("post_id"), Int("thread_id"),
                                       Int("user_id"), Int("post_date")}));
+    t.ReserveRows(static_cast<size_t>(n_post));
     for (int i = 0; i < n_post; ++i) {
       LSG_CHECK_OK(t.AppendRow(
           {Value(int64_t{i}),

@@ -11,62 +11,6 @@
 
 namespace lsg {
 
-namespace {
-
-/// Computes agg over `values` (NULLs skipped). Empty input yields COUNT=0
-/// and NULL for the others.
-Value Aggregate(AggFunc agg, const std::vector<Value>& values) {
-  if (agg == AggFunc::kCount) {
-    int64_t n = 0;
-    for (const Value& v : values) {
-      if (!v.is_null()) ++n;
-    }
-    return Value(n);
-  }
-  bool any = false;
-  double sum = 0.0;
-  Value best;
-  int64_t n = 0;
-  for (const Value& v : values) {
-    if (v.is_null()) continue;
-    if (!any) {
-      best = v;
-      any = true;
-    } else {
-      if (agg == AggFunc::kMax && v.Compare(best) > 0) best = v;
-      if (agg == AggFunc::kMin && v.Compare(best) < 0) best = v;
-    }
-    if (v.is_numeric()) {
-      sum += v.AsNumber();
-      ++n;
-    }
-  }
-  if (!any) return Value::Null();
-  switch (agg) {
-    case AggFunc::kMax:
-    case AggFunc::kMin:
-      return best;
-    case AggFunc::kSum:
-      return Value(sum);
-    case AggFunc::kAvg:
-      return n > 0 ? Value(sum / static_cast<double>(n)) : Value::Null();
-    default:
-      return Value::Null();
-  }
-}
-
-/// Serialized group key (stable, collision-free for rendered literals).
-std::string GroupKey(const std::vector<Value>& vals) {
-  std::string key;
-  for (const Value& v : vals) {
-    key += v.ToSqlLiteral();
-    key += '\x1f';
-  }
-  return key;
-}
-
-}  // namespace
-
 Executor::Executor(const Database* db, uint64_t max_intermediate_tuples)
     : db_(db), max_intermediate_tuples_(max_intermediate_tuples) {
   LSG_CHECK(db != nullptr);
@@ -143,6 +87,7 @@ StatusOr<Executor::TupleSet> Executor::BuildJoin(const SelectQuery& q,
     std::vector<uint32_t> out;
     out.reserve(ts.flat.size() + ts.count);
     size_t out_count = 0;
+    stats->rows_probed += static_cast<double>(ts.count);
     for (size_t t = 0; t < ts.count; ++t) {
       Value v = db_->tables()[probe_table].GetValue(
           ts.flat[t * stride + probe_pos], probe_col);
@@ -281,7 +226,7 @@ StatusOr<SelectResult> Executor::ExecuteSelect(
         for (size_t t = 0; t < ts.count; ++t) {
           col.push_back(TupleValue(ts, t, q.items[0].column));
         }
-        result.first_column.push_back(Aggregate(q.items[0].agg, col));
+        result.first_column.push_back(AggregateValues(q.items[0].agg, col));
       }
     }
     result.stats.rows_output += static_cast<double>(result.cardinality);
@@ -295,7 +240,7 @@ StatusOr<SelectResult> Executor::ExecuteSelect(
     for (size_t k = 0; k < q.group_by.size(); ++k) {
       key_vals[k] = TupleValue(ts, t, q.group_by[k]);
     }
-    groups[GroupKey(key_vals)].push_back(static_cast<uint32_t>(t));
+    groups[GroupKeyOf(key_vals)].push_back(static_cast<uint32_t>(t));
   }
 
   uint64_t passing = 0;
@@ -308,7 +253,7 @@ StatusOr<SelectResult> Executor::ExecuteSelect(
       for (uint32_t t : rows) {
         col.push_back(TupleValue(ts, t, q.having->column));
       }
-      Value agg = Aggregate(q.having->agg, col);
+      Value agg = AggregateValues(q.having->agg, col);
       pass = CompareValues(agg, q.having->op, q.having->value);
     }
     if (!pass) continue;
@@ -321,7 +266,7 @@ StatusOr<SelectResult> Executor::ExecuteSelect(
         std::vector<Value> col;
         col.reserve(rows.size());
         for (uint32_t t : rows) col.push_back(TupleValue(ts, t, item.column));
-        result.first_column.push_back(Aggregate(item.agg, col));
+        result.first_column.push_back(AggregateValues(item.agg, col));
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/backend.h"
 #include "sql/ast.h"
 #include "storage/table.h"
 
@@ -13,14 +14,23 @@ namespace lsg {
 /// Cumulative operator work observed during execution; feeds the
 /// "true cost" variant of the cost model (feedback ablation).
 struct ExecStats {
+  /// Saturation ceiling for every counter, mirroring the estimator's
+  /// CardinalityEstimator::kMaxJoinRows cap: a pathological join chain
+  /// must degrade to a pinned maximum, not run the meters to inf.
+  static constexpr double kMaxRows = 1e15;
+
   double rows_scanned = 0;
   double rows_joined = 0;   ///< tuples produced by joins
+  double rows_probed = 0;   ///< tuples driving hash-probe work per join stage
   double rows_output = 0;
 
+  static double Clamp(double v) { return v > kMaxRows ? kMaxRows : v; }
+
   void Add(const ExecStats& o) {
-    rows_scanned += o.rows_scanned;
-    rows_joined += o.rows_joined;
-    rows_output += o.rows_output;
+    rows_scanned = Clamp(rows_scanned + o.rows_scanned);
+    rows_joined = Clamp(rows_joined + o.rows_joined);
+    rows_probed = Clamp(rows_probed + o.rows_probed);
+    rows_output = Clamp(rows_output + o.rows_output);
   }
 };
 
@@ -36,8 +46,10 @@ struct SelectResult {
 /// Executes SELECT queries against an in-memory Database and returns true
 /// result cardinalities. Pipeline: FK hash joins in chain order, then WHERE
 /// (uncorrelated subqueries evaluated once), then GROUP BY / HAVING /
-/// aggregate collapse.
-class Executor {
+/// aggregate collapse. This is the tuple-at-a-time *reference* backend; the
+/// vectorized engine in src/vexec/ must match it bitwise (cardinality,
+/// first_column, ExecStats) and is differentially tested against it.
+class Executor : public ExecutionBackend {
  public:
   /// `db` must outlive the executor. `max_intermediate_tuples` bounds join
   /// blowup; exceeding it returns OutOfRange.
@@ -46,17 +58,20 @@ class Executor {
 
   /// True result cardinality of any query type. For DML the cardinality is
   /// the number of affected rows (dry run — the database is not mutated).
-  StatusOr<uint64_t> Cardinality(const QueryAst& ast) const;
+  StatusOr<uint64_t> Cardinality(const QueryAst& ast) const override;
 
   /// Executes a SELECT; optionally materializes the first projection column.
-  StatusOr<SelectResult> ExecuteSelect(const SelectQuery& q,
-                                       bool materialize_first_column) const;
+  StatusOr<SelectResult> ExecuteSelect(
+      const SelectQuery& q, bool materialize_first_column) const override;
 
   /// Evaluates a single-table WHERE against every row of `table_idx`,
   /// returning one bool per row (true = row matches). Used to apply
   /// UPDATE/DELETE for real and by the fuzzing oracle.
-  StatusOr<std::vector<bool>> MatchRows(int table_idx,
-                                        const WhereClause& where) const;
+  StatusOr<std::vector<bool>> MatchRows(
+      int table_idx, const WhereClause& where) const override;
+
+  const Database* database() const override { return db_; }
+  const char* name() const override { return "reference"; }
 
   const Database* db() const { return db_; }
 

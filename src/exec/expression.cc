@@ -97,4 +97,53 @@ double CombineSelectivities(const std::vector<double>& sels,
   return or_acc;
 }
 
+Value AggregateValues(AggFunc agg, const std::vector<Value>& values) {
+  if (agg == AggFunc::kCount) {
+    int64_t n = 0;
+    for (const Value& v : values) {
+      if (!v.is_null()) ++n;
+    }
+    return Value(n);
+  }
+  bool any = false;
+  double sum = 0.0;
+  Value best;
+  int64_t n = 0;
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    if (!any) {
+      best = v;
+      any = true;
+    } else {
+      if (agg == AggFunc::kMax && v.Compare(best) > 0) best = v;
+      if (agg == AggFunc::kMin && v.Compare(best) < 0) best = v;
+    }
+    if (v.is_numeric()) {
+      sum += v.AsNumber();
+      ++n;
+    }
+  }
+  if (!any) return Value::Null();
+  switch (agg) {
+    case AggFunc::kMax:
+    case AggFunc::kMin:
+      return best;
+    case AggFunc::kSum:
+      return Value(sum);
+    case AggFunc::kAvg:
+      return n > 0 ? Value(sum / static_cast<double>(n)) : Value::Null();
+    default:
+      return Value::Null();
+  }
+}
+
+std::string GroupKeyOf(const std::vector<Value>& vals) {
+  std::string key;
+  for (const Value& v : vals) {
+    key += v.ToSqlLiteral();
+    key += '\x1f';
+  }
+  return key;
+}
+
 }  // namespace lsg

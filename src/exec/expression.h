@@ -27,6 +27,21 @@ double CombineSelectivities(const std::vector<double>& sels,
 /// exactly one character; everything else is literal. Case-sensitive.
 bool LikeMatch(const std::string& text, const std::string& pattern);
 
+/// Computes `agg` over `values` in order (NULLs skipped). COUNT of an
+/// empty input is 0; the other aggregates yield NULL. SUM/AVG accumulate
+/// as a left fold in input order, so two engines that feed the same
+/// values in the same order produce bitwise-identical doubles — the
+/// invariant the vectorized engine's differential oracle relies on.
+/// Shared by Executor and vexec; the fuzzing ReferenceEvaluator keeps an
+/// independent copy so exec-vs-ref still cross-checks aggregation.
+Value AggregateValues(AggFunc agg, const std::vector<Value>& values);
+
+/// Serialized GROUP BY key: rendered literals joined by 0x1f. Both
+/// execution backends must bucket by exactly this string so they induce
+/// the same partition (grouping by Value::Compare instead would merge
+/// values whose literals differ, e.g. across numeric type ranks).
+std::string GroupKeyOf(const std::vector<Value>& vals);
+
 }  // namespace lsg
 
 #endif  // LEARNEDSQLGEN_EXEC_EXPRESSION_H_

@@ -101,6 +101,7 @@ DifferentialOracle::DifferentialOracle(Database* db, OracleOptions options)
       exec_(db),
       dml_(db),
       reference_(db, options.max_reference_work),
+      vexec_(db, vexec::VexecOptions{.inject = options.inject_vexec_bug}),
       linter_(&db->catalog()) {}
 
 std::optional<OracleViolation> DifferentialOracle::Check(const QueryAst& ast) {
@@ -156,6 +157,100 @@ std::optional<OracleViolation> DifferentialOracle::Check(const QueryAst& ast) {
           StrFormat("executor=%llu reference=%llu sql=",
                     static_cast<unsigned long long>(fast_card),
                     static_cast<unsigned long long>(*ref)) + sql};
+    }
+  }
+
+  // 2b. Lockstep vectorized engine: vexec must reproduce the reference
+  // executor bitwise — same cardinality (compared against the *uninjected*
+  // executor result so this check stays independent of the exec-vs-ref
+  // mutation hooks) and, for UPDATE/DELETE, the exact per-row match
+  // vector. OutOfRange means both engines hit their (shared) join cap.
+  if (options_.check_vexec) {
+    if (ast.type == QueryType::kSelect && ast.select != nullptr) {
+      // SELECTs compare the fully materialized first column, not just the
+      // cardinality — a corrupted join that matches the *wrong* rows with
+      // the right multiplicity is invisible to counts alone.
+      auto rv = vexec_.ExecuteSelect(*ast.select, true);
+      auto rr = exec_.ExecuteSelect(*ast.select, true);
+      if (!rv.ok() || !rr.ok()) {
+        const Status& bad = !rv.ok() ? rv.status() : rr.status();
+        if (bad.code() == StatusCode::kOutOfRange) {
+          ++skipped_;
+        } else {
+          return OracleViolation{
+              "vexec", "vectorized engine error: " + bad.ToString() +
+                           " sql=" + sql};
+        }
+      } else if (rv->cardinality != rr->cardinality) {
+        return OracleViolation{
+            "vexec",
+            StrFormat("vectorized=%llu reference=%llu sql=",
+                      static_cast<unsigned long long>(rv->cardinality),
+                      static_cast<unsigned long long>(rr->cardinality)) +
+                sql};
+      } else {
+        for (size_t i = 0; i < rr->first_column.size(); ++i) {
+          const Value& a = rv->first_column[i];
+          const Value& b = rr->first_column[i];
+          if (a.is_null() != b.is_null() ||
+              (!a.is_null() && a.Compare(b) != 0)) {
+            return OracleViolation{
+                "vexec",
+                StrFormat("first column diverged at row %zu: "
+                          "vectorized=%s reference=%s sql=",
+                          i, a.ToSqlLiteral().c_str(),
+                          b.ToSqlLiteral().c_str()) + sql};
+          }
+        }
+      }
+    } else {
+      auto vcard = vexec_.Cardinality(ast);
+      if (!vcard.ok()) {
+        if (vcard.status().code() == StatusCode::kOutOfRange) {
+          ++skipped_;
+        } else {
+          return OracleViolation{
+              "vexec", "vectorized engine error: " +
+                           vcard.status().ToString() + " sql=" + sql};
+        }
+      } else if (*vcard != *fast) {
+        return OracleViolation{
+            "vexec",
+            StrFormat("vectorized=%llu reference=%llu sql=",
+                      static_cast<unsigned long long>(*vcard),
+                      static_cast<unsigned long long>(*fast)) + sql};
+      }
+    }
+    if (ast.type == QueryType::kUpdate || ast.type == QueryType::kDelete) {
+      const int t = ast.type == QueryType::kUpdate ? ast.update->table_idx
+                                                   : ast.del->table_idx;
+      const WhereClause& w = ast.type == QueryType::kUpdate
+                                 ? ast.update->where
+                                 : ast.del->where;
+      auto mv = vexec_.MatchRows(t, w);
+      auto mr = exec_.MatchRows(t, w);
+      if (!mv.ok() || !mr.ok()) {
+        const Status& bad = !mv.ok() ? mv.status() : mr.status();
+        if (bad.code() == StatusCode::kOutOfRange) {
+          ++skipped_;
+        } else {
+          return OracleViolation{
+              "vexec", "MatchRows error: " + bad.ToString() + " sql=" + sql};
+        }
+      } else if (*mv != *mr) {
+        size_t diff = 0;
+        while (diff < mv->size() && diff < mr->size() &&
+               (*mv)[diff] == (*mr)[diff]) {
+          ++diff;
+        }
+        return OracleViolation{
+            "vexec",
+            StrFormat("match vector diverged at row %zu "
+                      "(vectorized=%d reference=%d) sql=",
+                      diff,
+                      diff < mv->size() ? ((*mv)[diff] ? 1 : 0) : -1,
+                      diff < mr->size() ? ((*mr)[diff] ? 1 : 0) : -1) + sql};
+      }
     }
   }
 

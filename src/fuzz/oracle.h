@@ -18,6 +18,7 @@
 #include "optimizer/feedback_cache.h"
 #include "sql/ast.h"
 #include "storage/table.h"
+#include "vexec/vectorized_engine.h"
 
 namespace lsg {
 
@@ -30,6 +31,9 @@ struct OracleOptions {
   bool check_dml_apply = true;  ///< DML apply-for-real under snapshot/rollback
   bool check_prefix_estimates = true;  ///< incremental == full, token-by-token
   bool check_compiled_fsm = true;      ///< compiled FSM == interpreted FSM
+  /// Lockstep vectorized engine: vexec cardinality must equal the reference
+  /// executor's bitwise, and UPDATE/DELETE row-match vectors elementwise.
+  bool check_vexec = true;
 
   /// Work budget per reference evaluation; exceeding it skips the check
   /// (counted in skipped()) instead of stalling the fuzzer.
@@ -47,6 +51,10 @@ struct OracleOptions {
   /// Doubles the first space of the rendered SQL (a synthetic renderer bug
   /// the fixpoint oracle must catch).
   bool inject_render_space = false;
+
+  /// Plants a defect in the oracle's vectorized engine (hash-collision /
+  /// sel-vector-off-by-one) that the vexec lockstep check must catch.
+  vexec::InjectBug inject_vexec_bug = vexec::InjectBug::kNone;
 };
 
 /// One oracle violation: which oracle fired and why.
@@ -60,6 +68,9 @@ struct OracleViolation {
 ///                         (independent re-derivation of the FSM's masks)
 ///   1. executor-error   — optimized executor must accept every FSM query
 ///   2. exec-vs-ref      — cardinality equals the naive reference evaluator
+///   2b. vexec           — the vectorized engine reproduces the reference
+///                         executor's cardinality bitwise (and, for
+///                         UPDATE/DELETE, its per-row match vector)
 ///   3. reparse-error / render-fixpoint / reparse-exec
 ///                       — Render(Parse(Render(q))) == Render(q) byte-for-
 ///                         byte and the reparsed AST executes identically
@@ -116,6 +127,7 @@ class DifferentialOracle {
   Executor exec_;
   DmlExecutor dml_;
   ReferenceEvaluator reference_;
+  vexec::VectorizedEngine vexec_;
   SqlLinter linter_;
   uint64_t checked_ = 0;
   uint64_t skipped_ = 0;

@@ -9,7 +9,11 @@
 namespace lsg {
 
 Status ReferenceEvaluator::Charge(uint64_t units) const {
-  work_ += units;
+  // Saturate instead of wrapping: a wrapped meter would silently re-arm
+  // the budget on pathological row-count products.
+  uint64_t next = 0;
+  if (__builtin_add_overflow(work_, units, &next)) next = UINT64_MAX;
+  work_ = next;
   if (work_ > max_work_) {
     return Status::OutOfRange("reference evaluation exceeded its work budget");
   }
@@ -24,8 +28,11 @@ StatusOr<ReferenceEvaluator::Result> ReferenceEvaluator::EvalSelect(
 
 StatusOr<ReferenceEvaluator::Result> ReferenceEvaluator::EvalSelectRec(
     const SelectQuery& q) const {
-  // 1. Materialize the joined rows by nested loops.
+  // 1. Materialize the joined rows by nested loops. The base scan is
+  // charged before materializing so a 10⁶-row scaled table trips the
+  // meter instead of allocating first.
   std::vector<std::vector<uint32_t>> tuples;  // row per table in chain
+  LSG_RETURN_IF_ERROR(Charge(db_->tables()[q.tables[0]].num_rows()));
   for (size_t r = 0; r < db_->tables()[q.tables[0]].num_rows(); ++r) {
     tuples.push_back({static_cast<uint32_t>(r)});
   }
@@ -33,7 +40,16 @@ StatusOr<ReferenceEvaluator::Result> ReferenceEvaluator::EvalSelectRec(
     LSG_ASSIGN_OR_RETURN(Edge edge, FindEdge(q.tables, i));
     std::vector<std::vector<uint32_t>> next;
     const Table& nt = db_->tables()[q.tables[i]];
-    LSG_RETURN_IF_ERROR(Charge(tuples.size() * nt.num_rows()));
+    // The nested-loop product is the probe-equivalent work of this stage
+    // (what the Executor meters as rows_probed · build size). Saturate the
+    // multiply: two ~2³² row counts would wrap uint64 and skip the budget.
+    uint64_t probe_work = 0;
+    if (__builtin_mul_overflow(static_cast<uint64_t>(tuples.size()),
+                               static_cast<uint64_t>(nt.num_rows()),
+                               &probe_work)) {
+      probe_work = UINT64_MAX;
+    }
+    LSG_RETURN_IF_ERROR(Charge(probe_work));
     for (const auto& tup : tuples) {
       for (size_t r = 0; r < nt.num_rows(); ++r) {
         Value a = db_->tables()[q.tables[edge.probe_chain_pos]].GetValue(
@@ -56,7 +72,9 @@ StatusOr<ReferenceEvaluator::Result> ReferenceEvaluator::EvalSelectRec(
     if (pass) kept.push_back(tup);
   }
 
-  // 3. Aggregation.
+  // 3. Aggregation (each kept tuple is touched once more to aggregate or
+  // group it).
+  LSG_RETURN_IF_ERROR(Charge(kept.size()));
   Result out;
   if (q.group_by.empty()) {
     if (q.HasAggregate()) {
@@ -159,8 +177,11 @@ Value ReferenceEvaluator::TupleValue(const SelectQuery& q,
 StatusOr<bool> ReferenceEvaluator::EvalWhere(
     const SelectQuery& q, const WhereClause& where,
     const std::vector<uint32_t>& tup) const {
+  // Even an empty WHERE costs one unit per tuple: CountMatching over a
+  // scaled 10⁶-row table must consume budget whether or not predicates
+  // exist, matching the Executor's per-row scan accounting.
+  LSG_RETURN_IF_ERROR(Charge(1 + where.predicates.size()));
   if (where.empty()) return true;
-  LSG_RETURN_IF_ERROR(Charge(where.predicates.size()));
   std::vector<bool> preds;
   for (const Predicate& p : where.predicates) {
     LSG_ASSIGN_OR_RETURN(bool v, EvalPredicate(q, p, tup));

@@ -39,6 +39,9 @@ struct EpochStats {
   double mean_final_reward = 0.0;  ///< mean reward of the completed query
   double mean_entropy = 0.0;
   double satisfied_frac = 0.0;     ///< fraction of episodes meeting C
+  /// True when this epoch's rewards came from execution-grounded feedback
+  /// (the mixed-feedback curriculum tail) rather than estimator feedback.
+  bool true_execution_feedback = false;
 };
 
 /// Samples one episode with the policy against the environment. When

@@ -53,11 +53,29 @@ void Column::AppendNull() {
       break;
   }
   valid_.push_back(false);
+  ++null_count_;
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+    case DataType::kCategorical:
+      strings_.reserve(n);
+      break;
+  }
 }
 
 Status Column::SetValue(size_t row, const Value& v) {
   LSG_CHECK(row < size());
   if (v.is_null()) {
+    if (valid_[row]) ++null_count_;
     valid_[row] = false;
     return Status::Ok();
   }
@@ -85,6 +103,7 @@ Status Column::SetValue(size_t row, const Value& v) {
       strings_[row] = v.as_string();
       break;
   }
+  if (!valid_[row]) --null_count_;
   valid_[row] = true;
   return Status::Ok();
 }
@@ -151,6 +170,7 @@ void Column::FilterRows(const std::vector<bool>& keep) {
     ++out;
   }
   valid_.resize(out);
+  null_count_ = out - CountNonNull();
   if (type_ == DataType::kInt64) ints_.resize(out);
   if (type_ == DataType::kDouble) doubles_.resize(out);
   if (type_ == DataType::kString || type_ == DataType::kCategorical) {

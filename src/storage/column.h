@@ -42,6 +42,23 @@ class Column {
   double GetDouble(size_t row) const { return doubles_[row]; }
   const std::string& GetString(size_t row) const { return strings_[row]; }
 
+  /// Whole-column views for the vectorized engine (src/vexec/): typed
+  /// loops read the backing arrays directly instead of materializing one
+  /// Value per cell. Only the vector matching type() is populated; cells
+  /// where IsNull(row) hold a zero/empty placeholder.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<bool>& validity() const { return valid_; }
+
+  /// True when no cell is NULL — lets batch kernels skip the validity
+  /// lookup entirely. O(1): a null counter is maintained on every append/
+  /// overwrite/filter.
+  bool all_valid() const { return null_count_ == 0; }
+
+  /// Pre-allocates backing storage for `n` rows (bulk synthetic loads).
+  void Reserve(size_t n);
+
   /// Number of non-NULL cells.
   size_t CountNonNull() const;
 
@@ -55,6 +72,7 @@ class Column {
  private:
   DataType type_;
   std::vector<bool> valid_;
+  size_t null_count_ = 0;
   // Only the vector matching type_ is populated (doubles_ for kDouble,
   // ints_ for kInt64, strings_ for kString/kCategorical).
   std::vector<int64_t> ints_;

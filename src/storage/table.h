@@ -30,6 +30,13 @@ class Table {
   /// must match its column's type (or be NULL for nullable columns).
   Status AppendRow(const std::vector<Value>& values);
 
+  /// Pre-allocates every column for `n` rows. The synthetic dataset
+  /// builders call this with the scaled row count so 10⁵–10⁶-row loads
+  /// avoid repeated vector regrowth (string columns especially).
+  void ReserveRows(size_t n) {
+    for (Column& c : columns_) c.Reserve(n);
+  }
+
   /// Cell accessor.
   Value GetValue(size_t row, size_t col) const {
     return columns_[col].GetValue(row);

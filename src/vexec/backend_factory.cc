@@ -1,0 +1,21 @@
+#include "vexec/backend_factory.h"
+
+#include "exec/executor.h"
+
+namespace lsg {
+namespace vexec {
+
+std::unique_ptr<ExecutionBackend> MakeBackend(ExecutionBackendKind kind,
+                                              const Database* db,
+                                              const VexecOptions& opts) {
+  switch (kind) {
+    case ExecutionBackendKind::kReference:
+      return std::make_unique<Executor>(db, opts.max_intermediate_tuples);
+    case ExecutionBackendKind::kVectorized:
+      return std::make_unique<VectorizedEngine>(db, opts);
+  }
+  return std::make_unique<Executor>(db, opts.max_intermediate_tuples);
+}
+
+}  // namespace vexec
+}  // namespace lsg

@@ -1,0 +1,53 @@
+#ifndef LEARNEDSQLGEN_VEXEC_BATCH_H_
+#define LEARNEDSQLGEN_VEXEC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsg {
+namespace vexec {
+
+/// Tuples processed per vectorized primitive invocation. 2048 × 4-byte row
+/// ids fits comfortably in L1 alongside one predicate mask, the classic
+/// vector-at-a-time sweet spot; it is also the morsel *granule* — parallel
+/// work is handed out in whole batches.
+inline constexpr size_t kBatchSize = 2048;
+
+/// Predicate result mask: one byte per tuple (0 = filtered, 1 = kept).
+/// Byte-per-tuple rather than a bitset so disjoint batch ranges can be
+/// written from different morsel workers without sharing bytes.
+using Mask = std::vector<uint8_t>;
+
+/// Indices of surviving tuples within a batch / tuple set, in ascending
+/// order. Built by the filter primitive from one or more combined Masks.
+using SelectionVector = std::vector<uint32_t>;
+
+/// Joined working set, columnar by chain position: cols[pos][t] is the row
+/// id of tuple t in the table at chain position pos. Same information as
+/// the reference Executor's row-major `flat` store, laid out so that join
+/// probes and predicate gathers touch one contiguous array per table.
+/// Tuple order (t) is identical to the reference engine's — this is what
+/// makes every downstream result bitwise comparable.
+struct TupleSetV {
+  std::vector<int> tables;                     ///< catalog table indices
+  std::vector<std::vector<uint32_t>> cols;     ///< size = tables.size()
+  size_t count = 0;
+
+  size_t ChainPos(int table_idx) const {
+    for (size_t j = 0; j < tables.size(); ++j) {
+      if (tables[j] == table_idx) return j;
+    }
+    return tables.size();  // not in scope; callers treat as NULL column
+  }
+};
+
+/// Number of kBatchSize batches covering `count` tuples (last may be short).
+inline size_t NumBatches(size_t count) {
+  return (count + kBatchSize - 1) / kBatchSize;
+}
+
+}  // namespace vexec
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_VEXEC_BATCH_H_

@@ -1,0 +1,65 @@
+#include "vexec/morsel_pool.h"
+
+#include "common/logging.h"
+
+namespace lsg {
+namespace vexec {
+
+MorselPool::MorselPool(int workers) : workers_(workers < 1 ? 1 : workers) {
+  threads_.reserve(static_cast<size_t>(workers_ - 1));
+  for (int i = 0; i < workers_ - 1; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MorselPool::~MorselPool() {
+  {
+    // dtor-lock: mu_ is a leaf mutex and Run() has returned on every user
+    // (one query at a time contract), so only idle workers can contend.
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+}
+
+void MorselPool::DrainJob() {
+  const std::function<void(size_t)>* fn = fn_;
+  while (next_ < num_morsels_) {
+    const size_t i = next_++;
+    mu_.Unlock();
+    (*fn)(i);
+    mu_.Lock();
+  }
+  --active_;
+  if (active_ == 0) done_cv_.NotifyAll();
+}
+
+void MorselPool::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  MutexLock lock(&mu_);
+  for (;;) {
+    while (job_gen_ == seen_gen && !shutdown_) work_cv_.Wait(mu_);
+    if (shutdown_) return;
+    seen_gen = job_gen_;
+    DrainJob();
+  }
+}
+
+void MorselPool::Run(size_t num_morsels,
+                     const std::function<void(size_t)>& fn) {
+  MutexLock lock(&mu_);
+  LSG_CHECK(active_ == 0);  // one job at a time
+  fn_ = &fn;
+  num_morsels_ = num_morsels;
+  next_ = 0;
+  active_ = workers_;
+  ++job_gen_;
+  if (workers_ > 1) work_cv_.NotifyAll();
+  DrainJob();  // the caller is the last participant
+  while (active_ > 0) done_cv_.Wait(mu_);
+  fn_ = nullptr;
+}
+
+}  // namespace vexec
+}  // namespace lsg

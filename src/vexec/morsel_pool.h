@@ -1,0 +1,69 @@
+#ifndef LEARNEDSQLGEN_VEXEC_MORSEL_POOL_H_
+#define LEARNEDSQLGEN_VEXEC_MORSEL_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace lsg {
+namespace vexec {
+
+/// Morsel-driven work dispatcher: a fixed crew of persistent worker
+/// threads that, per Run() call, race through morsel indices
+/// [0, num_morsels) pulling the next index under the pool mutex
+/// (morsel-at-a-time self-scheduling, à la HyPer). The calling thread
+/// participates as the final worker, so a pool built with `workers == 1`
+/// spawns no threads at all and Run() degenerates to a plain serial loop —
+/// the default on single-core hosts.
+///
+/// Built on the annotated lsg::Mutex/CondVar layer (DESIGN.md §6i); all
+/// scheduling state is LSG_GUARDED_BY(mu_) and checked by -Wthread-safety
+/// on Clang builds. The work function itself runs with the mutex released
+/// and must be safe to invoke concurrently for *distinct* morsel indices.
+class MorselPool {
+ public:
+  /// `workers` is the total degree of parallelism including the caller;
+  /// values below 1 are treated as 1. Threads start immediately and idle
+  /// on a condition variable between jobs.
+  explicit MorselPool(int workers);
+
+  /// Drains any in-flight job, then joins the worker threads.
+  ~MorselPool();
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  /// Runs fn(i) once for every i in [0, num_morsels), spread across the
+  /// crew; blocks until all morsels are done. Not reentrant: one job at a
+  /// time (the engine issues stages sequentially).
+  void Run(size_t num_morsels, const std::function<void(size_t)>& fn);
+
+  int workers() const { return workers_; }
+
+ private:
+  void WorkerLoop();
+  /// Claims-and-runs morsels of the current job until none remain, then
+  /// decrements the participant count. Must be entered with `mu_` held and
+  /// returns with it held (released around each fn invocation).
+  void DrainJob() LSG_REQUIRES(mu_);
+
+  const int workers_;
+  std::vector<std::thread> threads_;
+
+  Mutex mu_;
+  CondVar work_cv_;   ///< signals workers: new job or shutdown
+  CondVar done_cv_;   ///< signals Run(): all participants drained
+  uint64_t job_gen_ LSG_GUARDED_BY(mu_) = 0;
+  size_t num_morsels_ LSG_GUARDED_BY(mu_) = 0;
+  size_t next_ LSG_GUARDED_BY(mu_) = 0;
+  int active_ LSG_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t)>* fn_ LSG_GUARDED_BY(mu_) = nullptr;
+  bool shutdown_ LSG_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace vexec
+}  // namespace lsg
+
+#endif  // LEARNEDSQLGEN_VEXEC_MORSEL_POOL_H_

@@ -1,0 +1,660 @@
+#include "vexec/vectorized_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "exec/expression.h"
+#include "obs/metrics_registry.h"
+#include "vexec/hash_table.h"
+
+namespace lsg {
+namespace vexec {
+
+namespace {
+
+/// Applies `op` to a three-way comparison sign (CompareValues semantics).
+inline bool OpHolds(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kNumOps:
+      break;
+  }
+  return false;
+}
+
+inline int Sign3(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+inline int Sign3(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+/// One worker's join output: row ids per chain position (the new table's
+/// rows in the last slot), concatenated in morsel order afterwards.
+struct JoinChunk {
+  std::vector<std::vector<uint32_t>> cols;
+  size_t count = 0;
+  bool exceeded = false;
+};
+
+}  // namespace
+
+InjectBug ParseInjectBug(const std::string& name) {
+  if (name == "hash-collision") return InjectBug::kHashCollision;
+  if (name == "sel-vector-off-by-one") return InjectBug::kSelVectorOffByOne;
+  return InjectBug::kNone;
+}
+
+VectorizedEngine::VectorizedEngine(const Database* db, VexecOptions opts)
+    : db_(db), opts_(opts), pool_(opts.workers) {
+  LSG_CHECK(db != nullptr);
+}
+
+Value VectorizedEngine::TupleValue(const TupleSetV& ts, size_t tuple,
+                                   const ColumnRef& col) const {
+  const size_t pos = ts.ChainPos(col.table_idx);
+  if (pos == ts.tables.size()) return Value::Null();  // FSM prevents this
+  return db_->tables()[col.table_idx].GetValue(ts.cols[pos][tuple],
+                                               col.column_idx);
+}
+
+StatusOr<TupleSetV> VectorizedEngine::BuildJoin(const SelectQuery& q,
+                                                ExecStats* stats) const {
+  if (q.tables.empty()) {
+    return Status::InvalidArgument("SELECT without FROM tables");
+  }
+  const Catalog& cat = db_->catalog();
+  TupleSetV ts;
+  ts.tables.push_back(q.tables[0]);
+  const Table& base = db_->tables()[q.tables[0]];
+  ts.count = base.num_rows();
+  ts.cols.emplace_back(ts.count);
+  for (size_t r = 0; r < ts.count; ++r) {
+    ts.cols[0][r] = static_cast<uint32_t>(r);
+  }
+  stats->rows_scanned += static_cast<double>(ts.count);
+
+  for (size_t i = 1; i < q.tables.size(); ++i) {
+    const int new_ti = q.tables[i];
+    const Table& new_table = db_->tables()[new_ti];
+    stats->rows_scanned += static_cast<double>(new_table.num_rows());
+
+    // FK edge selection — must mirror the reference Executor exactly
+    // (chain tables in order, first JoinEdges entry wins) so both engines
+    // join on the same columns. Enforced by the differential tests.
+    int probe_table = -1, probe_col = -1, build_col = -1;
+    for (size_t j = 0; j < ts.tables.size() && probe_table < 0; ++j) {
+      for (const ForeignKey& fk :
+           cat.JoinEdges(cat.table(ts.tables[j]).name(),
+                         cat.table(new_ti).name())) {
+        const bool new_is_from = fk.from_table == cat.table(new_ti).name();
+        const std::string& new_col_name =
+            new_is_from ? fk.from_column : fk.to_column;
+        const std::string& old_col_name =
+            new_is_from ? fk.to_column : fk.from_column;
+        probe_table = ts.tables[j];
+        probe_col = cat.table(ts.tables[j]).FindColumn(old_col_name);
+        build_col = cat.table(new_ti).FindColumn(new_col_name);
+        break;
+      }
+    }
+    if (probe_table < 0) {
+      return Status::InvalidArgument(
+          "no FK edge joins " + cat.table(new_ti).name() + " into the chain");
+    }
+
+    const size_t stride = ts.tables.size();
+    const size_t probe_pos = ts.ChainPos(probe_table);
+    const Column& build_column = new_table.column(build_col);
+    const Column& probe_column =
+        db_->tables()[probe_table].column(probe_col);
+    const std::vector<uint32_t>& probe_rows = ts.cols[probe_pos];
+
+    stats->rows_probed += static_cast<double>(ts.count);
+    const size_t num_morsels = NumBatches(ts.count);
+    std::vector<JoinChunk> chunks(num_morsels);
+    const uint64_t cap = opts_.max_intermediate_tuples;
+    const bool skip_recheck = opts_.inject == InjectBug::kHashCollision;
+
+    if (build_column.type() == DataType::kInt64 &&
+        probe_column.type() == DataType::kInt64) {
+      // Typed path: open-addressing INT64 table, typed probe keys.
+      // Prefetch distance: far enough ahead to hide a memory round-trip
+      // behind ~16 probes' work, near enough that the line is still
+      // resident when the probe arrives.
+      constexpr size_t kPrefetchDist = 16;
+      const std::vector<int64_t>& build_keys = build_column.ints();
+      const std::vector<bool>& build_valid = build_column.validity();
+      const bool build_all_valid = build_column.all_valid();
+      const size_t build_rows = new_table.num_rows();
+      // Key-range scan: sequential-PK build sides (every FK edge in the
+      // bundled datasets) get the dense direct-address mode — no hashing,
+      // no collisions, one bounded-index load per probe. The injected
+      // hash-collision bug lives in the sparse probe path, so mutation
+      // runs pin that mode to keep the defect reachable.
+      int64_t min_key = 0, max_key = -1;
+      bool have_key = false;
+      for (size_t r = 0; r < build_rows; ++r) {
+        if (!build_all_valid && !build_valid[r]) continue;
+        const int64_t k = build_keys[r];
+        if (!have_key) {
+          min_key = max_key = k;
+          have_key = true;
+        } else {
+          min_key = std::min(min_key, k);
+          max_key = std::max(max_key, k);
+        }
+      }
+      const bool use_dense =
+          have_key &&
+          Int64JoinHashTable::DenseRangeUsable(min_key, max_key, build_rows) &&
+          opts_.inject != InjectBug::kHashCollision;
+      Int64JoinHashTable ht =
+          use_dense ? Int64JoinHashTable(min_key, max_key, build_rows)
+                    : Int64JoinHashTable(build_rows);
+      for (size_t r = 0; r < build_rows; ++r) {
+        if (r + kPrefetchDist < build_rows &&
+            (build_all_valid || build_valid[r + kPrefetchDist])) {
+          ht.Prefetch(build_keys[r + kPrefetchDist]);
+        }
+        if (!build_all_valid && !build_valid[r]) continue;
+        ht.Insert(build_keys[r], static_cast<uint32_t>(r));
+      }
+      const std::vector<int64_t>& probe_keys = probe_column.ints();
+      const std::vector<bool>& probe_valid = probe_column.validity();
+      const bool probe_all_valid = probe_column.all_valid();
+      auto probe_fn = [&](size_t m) {
+        JoinChunk& chunk = chunks[m];
+        chunk.cols.assign(stride + 1, {});
+        for (auto& c : chunk.cols) c.reserve(kBatchSize);
+        const size_t begin = m * kBatchSize;
+        const size_t end = std::min(begin + kBatchSize, ts.count);
+        for (size_t t = begin; t < end && !chunk.exceeded; ++t) {
+          if (t + kPrefetchDist < end) {
+            const uint32_t ahead = probe_rows[t + kPrefetchDist];
+            if (probe_all_valid || probe_valid[ahead]) {
+              ht.Prefetch(probe_keys[ahead]);
+            }
+          }
+          const uint32_t prow = probe_rows[t];
+          if (!probe_all_valid && !probe_valid[prow]) continue;
+          for (int32_t e = ht.Find(probe_keys[prow], skip_recheck); e >= 0;
+               e = ht.Next(e)) {
+            if (chunk.count + 1 > cap) {
+              chunk.exceeded = true;
+              break;
+            }
+            for (size_t j = 0; j < stride; ++j) {
+              chunk.cols[j].push_back(ts.cols[j][t]);
+            }
+            chunk.cols[stride].push_back(ht.Row(e));
+            ++chunk.count;
+          }
+        }
+      };
+      pool_.Run(num_morsels, probe_fn);
+    } else {
+      // Generic path: exactly the reference engine's Value-keyed build.
+      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> hash;
+      hash.reserve(new_table.num_rows());
+      for (size_t r = 0; r < new_table.num_rows(); ++r) {
+        Value v = new_table.GetValue(r, build_col);
+        if (v.is_null()) continue;
+        hash[v].push_back(static_cast<uint32_t>(r));
+      }
+      auto probe_fn = [&](size_t m) {
+        JoinChunk& chunk = chunks[m];
+        chunk.cols.assign(stride + 1, {});
+        const size_t begin = m * kBatchSize;
+        const size_t end = std::min(begin + kBatchSize, ts.count);
+        for (size_t t = begin; t < end && !chunk.exceeded; ++t) {
+          Value v = probe_column.GetValue(probe_rows[t]);
+          if (v.is_null()) continue;
+          auto it = hash.find(v);
+          if (it == hash.end()) continue;
+          for (uint32_t r : it->second) {
+            if (chunk.count + 1 > cap) {
+              chunk.exceeded = true;
+              break;
+            }
+            for (size_t j = 0; j < stride; ++j) {
+              chunk.cols[j].push_back(ts.cols[j][t]);
+            }
+            chunk.cols[stride].push_back(r);
+            ++chunk.count;
+          }
+        }
+      };
+      pool_.Run(num_morsels, probe_fn);
+    }
+
+    // Stitch chunks back in morsel (= base tuple) order so the joined
+    // tuple sequence is identical to the reference engine's serial probe.
+    uint64_t total = 0;
+    bool exceeded = false;
+    for (const JoinChunk& c : chunks) {
+      total += c.count;
+      exceeded = exceeded || c.exceeded;
+    }
+    if (exceeded || total > cap) {
+      return Status::OutOfRange("join intermediate exceeds limit");
+    }
+    std::vector<std::vector<uint32_t>> out(stride + 1);
+    for (size_t j = 0; j <= stride; ++j) {
+      out[j].reserve(total);
+      for (const JoinChunk& c : chunks) {
+        out[j].insert(out[j].end(), c.cols[j].begin(), c.cols[j].end());
+      }
+    }
+    ts.tables.push_back(new_ti);
+    ts.cols = std::move(out);
+    ts.count = static_cast<size_t>(total);
+    stats->rows_joined += static_cast<double>(total);
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("vexec.join_rows")
+          .Add(total);
+    }
+  }
+  return ts;
+}
+
+void VectorizedEngine::CompareKernel(const TupleSetV& ts, size_t pos,
+                                     int column_idx, CompareOp op,
+                                     const Value& constant, size_t begin,
+                                     size_t end, Mask* out) const {
+  if (constant.is_null()) return;  // NULL comparand: everything false
+  const Column& col = db_->tables()[ts.tables[pos]].column(column_idx);
+  const std::vector<uint32_t>& rows = ts.cols[pos];
+  const std::vector<bool>& valid = col.validity();
+  const bool all_valid = col.all_valid();
+  const bool col_is_string = col.type() == DataType::kString ||
+                             col.type() == DataType::kCategorical;
+
+  // Mixed type ranks (string column vs numeric constant or vice versa):
+  // Value::Compare returns the rank difference, constant across all
+  // non-NULL rows — evaluate the operator once.
+  if (col_is_string != constant.is_string()) {
+    const bool hit = OpHolds(op, col_is_string ? 1 : -1);
+    if (!hit) return;
+    for (size_t t = begin; t < end; ++t) {
+      (*out)[t] = (all_valid || valid[rows[t]]) ? 1 : 0;
+    }
+    return;
+  }
+
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const std::vector<int64_t>& data = col.ints();
+      if (constant.is_int()) {
+        const int64_t k = constant.as_int();
+        for (size_t t = begin; t < end; ++t) {
+          const uint32_t r = rows[t];
+          (*out)[t] =
+              ((all_valid || valid[r]) && OpHolds(op, Sign3(data[r], k)))
+                  ? 1
+                  : 0;
+        }
+      } else {
+        const double k = constant.as_double();
+        for (size_t t = begin; t < end; ++t) {
+          const uint32_t r = rows[t];
+          (*out)[t] = ((all_valid || valid[r]) &&
+                       OpHolds(op, Sign3(static_cast<double>(data[r]), k)))
+                          ? 1
+                          : 0;
+        }
+      }
+      return;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& data = col.doubles();
+      const double k = constant.AsNumber();
+      for (size_t t = begin; t < end; ++t) {
+        const uint32_t r = rows[t];
+        (*out)[t] =
+            ((all_valid || valid[r]) && OpHolds(op, Sign3(data[r], k)))
+                ? 1
+                : 0;
+      }
+      return;
+    }
+    case DataType::kString:
+    case DataType::kCategorical: {
+      const std::vector<std::string>& data = col.strings();
+      const std::string& k = constant.as_string();
+      for (size_t t = begin; t < end; ++t) {
+        const uint32_t r = rows[t];
+        (*out)[t] =
+            ((all_valid || valid[r]) && OpHolds(op, data[r].compare(k)))
+                ? 1
+                : 0;
+      }
+      return;
+    }
+  }
+}
+
+Status VectorizedEngine::EvalPredicate(const Predicate& p,
+                                       const TupleSetV& ts, Mask* out,
+                                       ExecStats* stats) const {
+  out->assign(ts.count, 0);
+  const size_t num_morsels = NumBatches(ts.count);
+  switch (p.kind) {
+    case PredicateKind::kValue: {
+      const size_t pos = ts.ChainPos(p.column.table_idx);
+      if (pos == ts.tables.size()) return Status::Ok();  // out of scope
+      pool_.Run(num_morsels, [&](size_t m) {
+        const size_t begin = m * kBatchSize;
+        CompareKernel(ts, pos, p.column.column_idx, p.op, p.value, begin,
+                      std::min(begin + kBatchSize, ts.count), out);
+      });
+      return Status::Ok();
+    }
+    case PredicateKind::kScalarSub: {
+      auto sub = ExecuteSelect(*p.subquery, /*materialize=*/true);
+      if (!sub.ok()) return sub.status();
+      stats->Add(sub->stats);
+      if (sub->cardinality != 1 || sub->first_column.empty()) {
+        return Status::Ok();  // non-scalar subquery result: predicate false
+      }
+      const Value& scalar = sub->first_column[0];
+      const size_t pos = ts.ChainPos(p.column.table_idx);
+      if (pos == ts.tables.size()) return Status::Ok();
+      pool_.Run(num_morsels, [&](size_t m) {
+        const size_t begin = m * kBatchSize;
+        CompareKernel(ts, pos, p.column.column_idx, p.op, scalar, begin,
+                      std::min(begin + kBatchSize, ts.count), out);
+      });
+      return Status::Ok();
+    }
+    case PredicateKind::kInSub: {
+      auto sub = ExecuteSelect(*p.subquery, /*materialize=*/true);
+      if (!sub.ok()) return sub.status();
+      stats->Add(sub->stats);
+      // Same Value-keyed membership set as the reference engine so the
+      // (int, double) equality/hash quirks are shared, not reinvented.
+      std::unordered_set<Value, ValueHash> members(sub->first_column.begin(),
+                                                   sub->first_column.end());
+      pool_.Run(num_morsels, [&](size_t m) {
+        const size_t begin = m * kBatchSize;
+        const size_t end = std::min(begin + kBatchSize, ts.count);
+        for (size_t t = begin; t < end; ++t) {
+          Value v = TupleValue(ts, t, p.column);
+          if (v.is_null()) continue;
+          (*out)[t] = members.count(v) > 0 ? 1 : 0;
+        }
+      });
+      return Status::Ok();
+    }
+    case PredicateKind::kExistsSub: {
+      auto sub = ExecuteSelect(*p.subquery, /*materialize=*/false);
+      if (!sub.ok()) return sub.status();
+      stats->Add(sub->stats);
+      bool exists = sub->cardinality > 0;
+      if (p.negated) exists = !exists;
+      out->assign(ts.count, exists ? 1 : 0);
+      return Status::Ok();
+    }
+    case PredicateKind::kLike: {
+      if (!p.value.is_string()) return Status::Ok();
+      const size_t pos = ts.ChainPos(p.column.table_idx);
+      if (pos == ts.tables.size()) return Status::Ok();
+      const Column& col =
+          db_->tables()[ts.tables[pos]].column(p.column.column_idx);
+      if (col.type() != DataType::kString &&
+          col.type() != DataType::kCategorical) {
+        return Status::Ok();  // non-string values never LIKE-match
+      }
+      const std::string& pattern = p.value.as_string();
+      const std::vector<std::string>& data = col.strings();
+      const std::vector<bool>& valid = col.validity();
+      const bool all_valid = col.all_valid();
+      const std::vector<uint32_t>& rows = ts.cols[pos];
+      pool_.Run(num_morsels, [&](size_t m) {
+        const size_t begin = m * kBatchSize;
+        const size_t end = std::min(begin + kBatchSize, ts.count);
+        for (size_t t = begin; t < end; ++t) {
+          const uint32_t r = rows[t];
+          if (!all_valid && !valid[r]) continue;
+          (*out)[t] = LikeMatch(data[r], pattern) ? 1 : 0;
+        }
+      });
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Status VectorizedEngine::ApplyWhere(const WhereClause& where, TupleSetV* ts,
+                                    ExecStats* stats) const {
+  if (where.empty()) return Status::Ok();
+  std::vector<Mask> results(where.predicates.size());
+  for (size_t i = 0; i < where.predicates.size(); ++i) {
+    LSG_RETURN_IF_ERROR(
+        EvalPredicate(where.predicates[i], *ts, &results[i], stats));
+  }
+
+  // Combine masks and count survivors per batch (parallel), then build the
+  // per-batch selection vectors via an exclusive prefix over the counts and
+  // scatter (parallel again). Order within and across batches follows
+  // tuple order, matching the reference filter loop.
+  const size_t num_morsels = NumBatches(ts->count);
+  Mask keep(ts->count, 0);
+  std::vector<size_t> batch_count(num_morsels, 0);
+  const bool drop_last =
+      opts_.inject == InjectBug::kSelVectorOffByOne;
+  pool_.Run(num_morsels, [&](size_t m) {
+    const size_t begin = m * kBatchSize;
+    const size_t end = std::min(begin + kBatchSize, ts->count);
+    std::vector<bool> local(results.size());
+    size_t n = 0;
+    // Injected bug: the batch loop bound excludes the final tuple.
+    const size_t bug_end = drop_last && end > begin ? end - 1 : end;
+    for (size_t t = begin; t < bug_end; ++t) {
+      for (size_t i = 0; i < results.size(); ++i) {
+        local[i] = results[i][t] != 0;
+      }
+      if (CombinePredicates(local, where.connectors)) {
+        keep[t] = 1;
+        ++n;
+      }
+    }
+    batch_count[m] = n;
+  });
+
+  std::vector<size_t> offset(num_morsels + 1, 0);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    offset[m + 1] = offset[m] + batch_count[m];
+  }
+  const size_t out_count = offset[num_morsels];
+  const size_t stride = ts->tables.size();
+  std::vector<std::vector<uint32_t>> out(stride);
+  for (size_t j = 0; j < stride; ++j) out[j].resize(out_count);
+  pool_.Run(num_morsels, [&](size_t m) {
+    const size_t begin = m * kBatchSize;
+    const size_t end = std::min(begin + kBatchSize, ts->count);
+    size_t w = offset[m];
+    for (size_t t = begin; t < end; ++t) {
+      if (!keep[t]) continue;
+      for (size_t j = 0; j < stride; ++j) out[j][w] = ts->cols[j][t];
+      ++w;
+    }
+  });
+  ts->cols = std::move(out);
+  ts->count = out_count;
+  return Status::Ok();
+}
+
+StatusOr<SelectResult> VectorizedEngine::ExecuteSelect(
+    const SelectQuery& q, bool materialize_first_column) const {
+  obs::ScopedHistogramTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("vexec.select_ns")
+          : nullptr);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("vexec.select_queries").Inc();
+  }
+  SelectResult result;
+  LSG_ASSIGN_OR_RETURN(TupleSetV ts, BuildJoin(q, &result.stats));
+  LSG_RETURN_IF_ERROR(ApplyWhere(q.where, &ts, &result.stats));
+
+  // Sequential finalizer, tuple order = reference order, shared aggregate
+  // helpers: every double accumulation below is bitwise-identical to the
+  // reference engine's.
+  const bool has_agg = q.HasAggregate();
+
+  if (q.group_by.empty()) {
+    if (!has_agg) {
+      result.cardinality = ts.count;
+      if (materialize_first_column && !q.items.empty()) {
+        result.first_column.reserve(ts.count);
+        for (size_t t = 0; t < ts.count; ++t) {
+          result.first_column.push_back(TupleValue(ts, t, q.items[0].column));
+        }
+      }
+    } else {
+      result.cardinality = 1;
+      if (materialize_first_column && !q.items.empty()) {
+        std::vector<Value> col;
+        col.reserve(ts.count);
+        for (size_t t = 0; t < ts.count; ++t) {
+          col.push_back(TupleValue(ts, t, q.items[0].column));
+        }
+        result.first_column.push_back(AggregateValues(q.items[0].agg, col));
+      }
+    }
+    result.stats.rows_output += static_cast<double>(result.cardinality);
+    return result;
+  }
+
+  std::unordered_map<std::string, std::vector<uint32_t>> groups;
+  std::vector<Value> key_vals(q.group_by.size());
+  for (size_t t = 0; t < ts.count; ++t) {
+    for (size_t k = 0; k < q.group_by.size(); ++k) {
+      key_vals[k] = TupleValue(ts, t, q.group_by[k]);
+    }
+    groups[GroupKeyOf(key_vals)].push_back(static_cast<uint32_t>(t));
+  }
+
+  uint64_t passing = 0;
+  for (const auto& [key, rows] : groups) {
+    (void)key;
+    bool pass = true;
+    if (q.having.has_value()) {
+      std::vector<Value> col;
+      col.reserve(rows.size());
+      for (uint32_t t : rows) {
+        col.push_back(TupleValue(ts, t, q.having->column));
+      }
+      Value agg = AggregateValues(q.having->agg, col);
+      pass = CompareValues(agg, q.having->op, q.having->value);
+    }
+    if (!pass) continue;
+    ++passing;
+    if (materialize_first_column && !q.items.empty()) {
+      const SelectItem& item = q.items[0];
+      if (item.agg == AggFunc::kNone) {
+        result.first_column.push_back(TupleValue(ts, rows[0], item.column));
+      } else {
+        std::vector<Value> col;
+        col.reserve(rows.size());
+        for (uint32_t t : rows) col.push_back(TupleValue(ts, t, item.column));
+        result.first_column.push_back(AggregateValues(item.agg, col));
+      }
+    }
+  }
+  result.cardinality = passing;
+  result.stats.rows_output += static_cast<double>(passing);
+  return result;
+}
+
+StatusOr<std::vector<bool>> VectorizedEngine::MatchRows(
+    int table_idx, const WhereClause& where) const {
+  if (table_idx < 0 || static_cast<size_t>(table_idx) >= db_->num_tables()) {
+    return Status::InvalidArgument("MatchRows: table index out of range");
+  }
+  const size_t n = db_->tables()[table_idx].num_rows();
+  std::vector<bool> match(n, true);
+  if (where.empty()) return match;
+
+  TupleSetV ts;
+  ts.tables = {table_idx};
+  ts.count = n;
+  ts.cols.emplace_back(n);
+  for (size_t r = 0; r < n; ++r) ts.cols[0][r] = static_cast<uint32_t>(r);
+
+  ExecStats stats;
+  std::vector<Mask> results(where.predicates.size());
+  for (size_t i = 0; i < where.predicates.size(); ++i) {
+    LSG_RETURN_IF_ERROR(
+        EvalPredicate(where.predicates[i], ts, &results[i], &stats));
+  }
+  std::vector<bool> per_pred(where.predicates.size());
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      per_pred[i] = results[i][t] != 0;
+    }
+    match[t] = CombinePredicates(per_pred, where.connectors);
+  }
+  return match;
+}
+
+StatusOr<uint64_t> VectorizedEngine::Cardinality(const QueryAst& ast) const {
+  switch (ast.type) {
+    case QueryType::kSelect: {
+      if (ast.select == nullptr) {
+        return Status::InvalidArgument("empty SELECT ast");
+      }
+      auto r = ExecuteSelect(*ast.select, /*materialize=*/false);
+      if (!r.ok()) return r.status();
+      return r->cardinality;
+    }
+    case QueryType::kInsert: {
+      if (ast.insert == nullptr) {
+        return Status::InvalidArgument("empty INSERT ast");
+      }
+      if (ast.insert->source != nullptr) {
+        auto r = ExecuteSelect(*ast.insert->source, /*materialize=*/false);
+        if (!r.ok()) return r.status();
+        return r->cardinality;
+      }
+      return static_cast<uint64_t>(1);
+    }
+    case QueryType::kUpdate: {
+      if (ast.update == nullptr) {
+        return Status::InvalidArgument("empty UPDATE ast");
+      }
+      SelectQuery probe;
+      probe.tables = {ast.update->table_idx};
+      ExecStats stats;
+      LSG_ASSIGN_OR_RETURN(TupleSetV ts, BuildJoin(probe, &stats));
+      LSG_RETURN_IF_ERROR(ApplyWhere(ast.update->where, &ts, &stats));
+      return static_cast<uint64_t>(ts.count);
+    }
+    case QueryType::kDelete: {
+      if (ast.del == nullptr) {
+        return Status::InvalidArgument("empty DELETE ast");
+      }
+      SelectQuery probe;
+      probe.tables = {ast.del->table_idx};
+      ExecStats stats;
+      LSG_ASSIGN_OR_RETURN(TupleSetV ts, BuildJoin(probe, &stats));
+      LSG_RETURN_IF_ERROR(ApplyWhere(ast.del->where, &ts, &stats));
+      return static_cast<uint64_t>(ts.count);
+    }
+  }
+  return Status::Internal("unknown query type");
+}
+
+}  // namespace vexec
+}  // namespace lsg

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <unordered_set>
 
 #include "datasets/job_like.h"
@@ -140,6 +141,49 @@ TEST_P(DatasetProperty, ScaleFactorGrowsFactTables) {
   Database s = BuildByIndex(GetParam(), small);
   Database b = BuildByIndex(GetParam(), big);
   EXPECT_GT(b.TotalRows(), s.TotalRows() * 2);
+}
+
+TEST_P(DatasetProperty, RowScaleOneIsBitIdenticalToDefault) {
+  // The execution-grounded training path builds its scaled databases via
+  // DatasetScale::RowScale; at 1.0 it must reproduce the default-scale
+  // datasets cell for cell.
+  Database a = BuildByIndex(GetParam());
+  Database b = BuildByIndex(GetParam(), DatasetScale::RowScale(1.0));
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (size_t ti = 0; ti < a.num_tables(); ++ti) {
+    const Table& ta = a.tables()[ti];
+    const Table& tb = b.tables()[ti];
+    ASSERT_EQ(ta.num_rows(), tb.num_rows()) << ta.name();
+    for (size_t r = 0; r < ta.num_rows(); ++r) {
+      for (size_t c = 0; c < ta.num_columns(); ++c) {
+        const Value va = ta.GetValue(r, c);
+        const Value vb = tb.GetValue(r, c);
+        ASSERT_EQ(va.is_null(), vb.is_null())
+            << ta.name() << "[" << r << "," << c << "]";
+        if (!va.is_null()) {
+          ASSERT_EQ(va.Compare(vb), 0)
+              << ta.name() << "[" << r << "," << c << "]";
+        }
+      }
+    }
+  }
+}
+
+TEST(DatasetScaleTest, RowsClampsAndSaturates) {
+  DatasetScale s;
+  EXPECT_EQ(s.Rows(1000), 1000);  // factor 1.0 is exact
+  s.factor = 0.0;
+  EXPECT_EQ(s.Rows(1000), 2);  // floor
+  s.factor = -3.0;
+  EXPECT_EQ(s.Rows(1000), 2);
+  s.factor = 1e12;  // would overflow the int cast without the clamp
+  EXPECT_EQ(s.Rows(1000), DatasetScale::kMaxRowsPerTable);
+  s.factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(s.Rows(1000), 2);
+  s.factor = 100.0;
+  EXPECT_EQ(s.Rows(3000), 300000);  // lineitem at 100x: 3*10^5 rows
+  EXPECT_EQ(DatasetScale::RowScale(2.5).Rows(1000), 2500);
+  EXPECT_EQ(DatasetScale::RowScale(1.0).seed, DatasetScale().seed);
 }
 
 TEST_P(DatasetProperty, EveryTableReachableInJoinGraph) {

@@ -26,6 +26,7 @@
 #include "fuzz/service_fuzz.h"
 #include "fuzz/test_databases.h"
 #include "fuzz/trace.h"
+#include "vexec/vectorized_engine.h"
 
 namespace {
 
@@ -45,9 +46,12 @@ void Usage() {
       "  --no-shrink      keep failing traces unminimized\n"
       "  --max-failures N stop a dataset after N failures (default 16)\n"
       "  --verbose        log every failure as it is found\n"
+      "  --oracle NAME    all|vexec (default all). vexec runs only the\n"
+      "                   vectorized-vs-reference lockstep check\n"
       "  --inject-bug K   card-off-by-one|render-space|mask-bit|\n"
-      "                   transition-swap (mutation-tests the harness:\n"
-      "                   the run MUST report violations)\n"
+      "                   transition-swap|hash-collision|\n"
+      "                   sel-vector-off-by-one (mutation-tests the\n"
+      "                   harness: the run MUST report violations)\n"
       "service options:\n"
       "  --rounds N       service lifecycles (default 4)\n"
       "  --requests N     requests per round (default 16)\n");
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   using namespace lsg;
 
   std::string dataset = "all", corpus_dir, replay_path, inject;
+  std::string oracle_mode = "all";
   int episodes = 1000, max_failures = 16, values = 8;
   int rounds = 4, requests = 16;
   uint64_t seed = 7;
@@ -102,6 +107,8 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (a == "--inject-bug") {
       inject = need_value(i++);
+    } else if (a == "--oracle") {
+      oracle_mode = need_value(i++);
     } else if (a == "--replay") {
       replay_path = need_value(i++);
     } else if (a == "--service") {
@@ -116,6 +123,20 @@ int main(int argc, char** argv) {
   }
 
   OracleOptions oracle;
+  if (oracle_mode == "vexec") {
+    // Focused lockstep mode: only the vectorized-vs-reference check runs
+    // (plus the executor acceptance gate it depends on).
+    oracle.check_lint = false;
+    oracle.check_reference = false;
+    oracle.check_roundtrip = false;
+    oracle.check_estimator = false;
+    oracle.check_dml_apply = false;
+    oracle.check_prefix_estimates = false;
+    oracle.check_compiled_fsm = false;
+    oracle.check_vexec = true;
+  } else if (oracle_mode != "all") {
+    return FailUsage("unknown --oracle name");
+  }
   std::string inject_fsm_bug;
   if (inject == "card-off-by-one") {
     oracle.inject_card_offset = 1;
@@ -123,6 +144,8 @@ int main(int argc, char** argv) {
     oracle.inject_render_space = true;
   } else if (inject == "mask-bit" || inject == "transition-swap") {
     inject_fsm_bug = inject;  // corrupts the compiled FSM tables
+  } else if (inject == "hash-collision" || inject == "sel-vector-off-by-one") {
+    oracle.inject_vexec_bug = vexec::ParseInjectBug(inject);
   } else if (!inject.empty()) {
     return FailUsage("unknown --inject-bug kind");
   }
