@@ -136,6 +136,19 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+size_t Rng::Categorical(const float* weights, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += weights[i];
+  if (total <= 0.0) return n;
+  double target = UniformDouble() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return n - 1;
+}
+
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   LSG_CHECK(k <= n);
   std::vector<size_t> idx(n);

@@ -55,6 +55,12 @@ class Rng {
   /// Returns weights.size() if all weights are zero.
   size_t Categorical(const std::vector<double>& weights);
 
+  /// Float-span overload with identical arithmetic (every float widens
+  /// exactly to double, so the cumulative walk matches the vector form
+  /// bitwise) and no temporary double vector — the serving decode path
+  /// samples every token through this.
+  size_t Categorical(const float* weights, size_t n);
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

@@ -37,8 +37,7 @@ Status LearnedSqlGen::Train(const Constraint& constraint) {
   return TrainFor(constraint, options_.train_epochs);
 }
 
-Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
-  LSG_OBS_SPAN("gen.train");
+EnvironmentOptions LearnedSqlGen::BuildEnvOptions() {
   EnvironmentOptions env_opts;
   env_opts.profile = options_.profile;
   env_opts.feedback = options_.feedback;
@@ -57,6 +56,14 @@ Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
     }
     env_opts.compiled_fsm = compiled_fsm_.get();
   }
+  return env_opts;
+}
+
+Status LearnedSqlGen::TrainFor(const Constraint& constraint, int epochs) {
+  LSG_OBS_SPAN("gen.train");
+  EnvironmentOptions env_opts = BuildEnvOptions();
+  env_opts_ = env_opts;
+  constraint_ = constraint;
   env_ = std::make_unique<SqlGenEnvironment>(db_, &*vocab_, estimator_.get(),
                                              cost_model_.get(), constraint,
                                              env_opts);
@@ -147,7 +154,18 @@ StatusOr<Trajectory> LearnedSqlGen::GenerateOne() {
   return Status::FailedPrecondition("call Train before generating");
 }
 
+StatusOr<Trajectory> LearnedSqlGen::GenerateOne(Rng* rng) {
+  if (rng == nullptr) return GenerateOne();
+  if (ac_trainer_ != nullptr) return ac_trainer_->Generate(rng);
+  if (reinforce_trainer_ != nullptr) return reinforce_trainer_->Generate(rng);
+  return Status::FailedPrecondition("call Train before generating");
+}
+
 StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n) {
+  return GenerateSatisfied(n, nullptr);
+}
+
+StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n, Rng* rng) {
   LSG_OBS_SPAN("gen.generate_satisfied");
   GenerationReport report;
   report.train_seconds = train_seconds_;
@@ -156,7 +174,7 @@ StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n) {
   const int64_t max_attempts =
       static_cast<int64_t>(n) * options_.attempts_factor;
   while (report.satisfied < n && report.attempts < max_attempts) {
-    auto traj = GenerateOne();
+    auto traj = GenerateOne(rng);
     if (!traj.ok()) return traj.status();
     ++report.attempts;
     if (!traj->satisfied) continue;
@@ -179,13 +197,17 @@ StatusOr<GenerationReport> LearnedSqlGen::GenerateSatisfied(int n) {
 }
 
 StatusOr<GenerationReport> LearnedSqlGen::GenerateBatch(int n) {
+  return GenerateBatch(n, nullptr);
+}
+
+StatusOr<GenerationReport> LearnedSqlGen::GenerateBatch(int n, Rng* rng) {
   LSG_OBS_SPAN("gen.generate_batch");
   GenerationReport report;
   report.train_seconds = train_seconds_;
   report.trace = trace_;
   Stopwatch watch;
   for (int i = 0; i < n; ++i) {
-    auto traj = GenerateOne();
+    auto traj = GenerateOne(rng);
     if (!traj.ok()) return traj.status();
     ++report.attempts;
     GeneratedQuery q;
@@ -204,6 +226,33 @@ StatusOr<GenerationReport> LearnedSqlGen::GenerateBatch(int n) {
                         : static_cast<double>(report.satisfied) /
                               static_cast<double>(report.attempts);
   return report;
+}
+
+StatusOr<ServingSnapshot> LearnedSqlGen::MakeServingSnapshot() const {
+  const PolicyNetwork* actor = nullptr;
+  if (ac_trainer_ != nullptr) {
+    actor = &std::as_const(*ac_trainer_).actor();
+  } else if (reinforce_trainer_ != nullptr) {
+    actor = &std::as_const(*reinforce_trainer_).actor();
+  } else {
+    return Status::FailedPrecondition("call Train before snapshotting");
+  }
+  if (options_.trainer.net.extra_input_dims != 0) {
+    return Status::FailedPrecondition(
+        "batched serving supports the standard one-hot model only");
+  }
+  ServingSnapshot snap;
+  snap.db = db_;
+  snap.vocab = &*vocab_;
+  snap.estimator = estimator_.get();
+  snap.cost_model = cost_model_.get();
+  snap.actor = actor;
+  snap.env_opts = env_opts_;
+  snap.constraint = constraint_;
+  snap.attempts_factor = options_.attempts_factor;
+  snap.train_seconds = train_seconds_;
+  snap.trace = &trace_;
+  return snap;
 }
 
 }  // namespace lsg

@@ -80,6 +80,29 @@ struct LearnedSqlGenOptions {
   uint64_t seed = 2024;
 };
 
+/// Immutable, copy-free view of a trained pipeline for the serving path.
+/// Every pointer aliases state owned by the LearnedSqlGen that produced the
+/// snapshot (kept alive by the caller — the service holds the registry
+/// entry), and every referenced component is const or internally
+/// thread-safe at inference, so one snapshot may drive any number of
+/// concurrent decode lanes without touching the pipeline's mutex.
+struct ServingSnapshot {
+  const Database* db = nullptr;
+  const Vocabulary* vocab = nullptr;
+  const CardinalityEstimator* estimator = nullptr;
+  const CostModel* cost_model = nullptr;
+  const PolicyNetwork* actor = nullptr;
+  /// Environment configuration the model was trained under (compiled FSM
+  /// resolved); fresh per-lane environments are built from this.
+  EnvironmentOptions env_opts;
+  /// The constraint the entry's model was trained for — generation
+  /// validates against this, exactly like the unbatched path.
+  Constraint constraint;
+  int attempts_factor = 50;
+  double train_seconds = 0.0;
+  const std::vector<EpochStats>* trace = nullptr;
+};
+
 /// One generated query with its metadata. Move-only (owns the AST).
 struct GeneratedQuery {
   std::string sql;
@@ -131,6 +154,19 @@ class LearnedSqlGen {
   /// (the paper's accuracy metric). Report contains all n queries.
   StatusOr<GenerationReport> GenerateBatch(int n);
 
+  /// Caller-RNG variants: sampling draws from `rng` instead of the
+  /// trainer's internal stream. The serving path derives one stream per
+  /// request from (seed, request), making outputs independent of worker
+  /// placement and batch composition.
+  StatusOr<GenerationReport> GenerateSatisfied(int n, Rng* rng);
+  StatusOr<GenerationReport> GenerateBatch(int n, Rng* rng);
+
+  /// Publishes an immutable view of the trained pipeline for lock-free
+  /// batched serving (see BatchDecoder). Fails before Train/LoadModel, or
+  /// when the model uses dense extra inputs (AC-extend) — the batched
+  /// decode path supports the standard one-hot model only.
+  StatusOr<ServingSnapshot> MakeServingSnapshot() const;
+
   /// Saves the trained actor's parameters to a binary file.
   Status SaveModel(const std::string& path) const;
 
@@ -153,6 +189,11 @@ class LearnedSqlGen {
   LearnedSqlGen(const Database* db, const LearnedSqlGenOptions& options);
 
   StatusOr<Trajectory> GenerateOne();
+  StatusOr<Trajectory> GenerateOne(Rng* rng);
+
+  /// Environment configuration derived from options_, with the compiled
+  /// FSM resolved (and memoised in compiled_fsm_) when enabled.
+  EnvironmentOptions BuildEnvOptions();
 
   const Database* db_;
   LearnedSqlGenOptions options_;
@@ -168,6 +209,10 @@ class LearnedSqlGen {
   std::unique_ptr<ReinforceTrainer> reinforce_trainer_;
   std::vector<EpochStats> trace_;
   double train_seconds_ = 0.0;
+  /// Environment options and constraint of the last TrainFor (what a
+  /// ServingSnapshot republishes).
+  EnvironmentOptions env_opts_;
+  Constraint constraint_;
 };
 
 }  // namespace lsg

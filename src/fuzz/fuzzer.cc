@@ -184,6 +184,14 @@ StatusOr<FuzzRunStats> RunFuzz(const FuzzOptions& options) {
           violation = oracle.CheckCompiledFsm(
               &*vocab, profiles[pi].profile, compiled_table_for(pi), actions);
         }
+        if (!violation.has_value() && ep % 8 == 0) {
+          // Eighth oracle (sampled — it decodes whole episode groups, not
+          // this episode's actions): the batched cross-request decoder must
+          // reproduce the scalar decode path byte-for-byte under a random
+          // policy seeded from this episode.
+          violation = oracle.CheckBatchDecode(&*vocab, profiles[pi].profile,
+                                              ep_seed);
+        }
         if (!violation.has_value()) continue;
         trace.oracle = violation->oracle;
         trace.detail = violation->detail;
@@ -289,6 +297,12 @@ StatusOr<EpisodeTrace> ReplayTraceEpisode(const EpisodeTrace& trace,
                                           profiles[trace.profile].profile,
                                           table.get(), trace.actions);
     }
+  }
+  if (!violation.has_value()) {
+    // Batch-decode failures replay from the trace's seed (the oracle
+    // decodes its own episode group, not the recorded actions).
+    violation = oracle.CheckBatchDecode(
+        &*vocab, profiles[trace.profile].profile, trace.seed);
   }
   if (violation.has_value()) {
     result.oracle = violation->oracle;

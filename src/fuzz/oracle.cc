@@ -2,8 +2,12 @@
 
 #include <cmath>
 
+#include "common/random.h"
 #include "common/string_util.h"
+#include "core/batch_decoder.h"
+#include "core/environment.h"
 #include "fsm/compiled_fsm.h"
+#include "rl/policy_network.h"
 #include "sql/parser.h"
 #include "sql/render.h"
 
@@ -492,6 +496,135 @@ std::optional<OracleViolation> DifferentialOracle::CheckCompiledFsm(
         StrFormat("finished episode not on the accept state: state=%u "
                   "accept=%u",
                   compiled.compiled_state(), table->accept_state())};
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleViolation> DifferentialOracle::CheckBatchDecode(
+    const Vocabulary* vocab, const QueryProfile& profile, uint64_t seed) {
+  if (!options_.check_batch_decode) return std::nullopt;
+  constexpr int kMaxSteps = 512;  // both decoders share this hard cap
+
+  // Small random-weight policy: the batched forward must reproduce the
+  // scalar path for *any* parameters, so no training is needed.
+  NetworkOptions net;
+  net.hidden_dim = 12;
+  net.seed = SplitMix64(seed ^ 0xba7c4dec0deULL);
+  PolicyNetwork actor(vocab->size(), net);
+
+  EnvironmentOptions env_opts;
+  env_opts.profile = profile;
+  // A wide range keeps the comparison about decoding, not learnability.
+  const Constraint constraint =
+      Constraint::Range(ConstraintMetric::kCardinality, 1.0, 1e12);
+
+  // Scalar reference: the exact loop the unbatched serving path runs —
+  // per-step TryNextDistribution (LSTM MatVec forward) + SampleAction on
+  // the item's private stream.
+  struct RefQuery {
+    std::string sql;
+    double metric = 0.0;
+    bool satisfied = false;
+  };
+  auto run_scalar = [&](uint64_t rng_seed,
+                        int n) -> StatusOr<std::vector<RefQuery>> {
+    Rng rng(rng_seed);
+    SqlGenEnvironment env(db_, vocab, &estimator_, &cost_model_, constraint,
+                          env_opts);
+    std::vector<RefQuery> out;
+    for (int attempt = 0; attempt < n; ++attempt) {
+      env.Reset();
+      PolicyNetwork::Episode ep = actor.BeginEpisode(/*train=*/false);
+      for (int step = 0;; ++step) {
+        if (step >= kMaxSteps) {
+          return Status::Internal("scalar episode exceeded the step cap");
+        }
+        const std::vector<float>* probs = nullptr;
+        LSG_RETURN_IF_ERROR(
+            actor.TryNextDistribution(&ep, env.ValidActions(), &probs));
+        const int a = actor.SampleAction(*probs, &rng);
+        actor.RecordAction(&ep, a);
+        LSG_ASSIGN_OR_RETURN(EnvStepResult sr, env.Step(a));
+        if (sr.done) {
+          RefQuery q;
+          const QueryAst ast = env.TakeAst();
+          q.sql = RenderSql(ast, db_->catalog());
+          q.metric = sr.metric;
+          q.satisfied = sr.satisfied;
+          out.push_back(std::move(q));
+          break;
+        }
+      }
+    }
+    return out;
+  };
+
+  ServingSnapshot snap;
+  snap.db = db_;
+  snap.vocab = vocab;
+  snap.estimator = &estimator_;
+  snap.cost_model = &cost_model_;
+  snap.actor = &actor;
+  snap.env_opts = env_opts;
+  snap.constraint = constraint;
+
+  // Ragged shapes: distinct budgets so lanes retire at different steps and
+  // the batch width shrinks mid-run.
+  const std::vector<int> budgets = {2, 1, 3};
+  std::vector<BatchDecodeItem> items(budgets.size());
+  for (size_t b = 0; b < items.size(); ++b) {
+    items[b].n = budgets[b];
+    items[b].batch_mode = true;  // fixed attempts: every episode compared
+    items[b].rng_seed = SplitMix64(seed + 0x1000 + b);
+  }
+  std::vector<BatchDecodeItem*> ptrs;
+  for (BatchDecodeItem& item : items) ptrs.push_back(&item);
+  BatchDecoder decoder(&snap, static_cast<int>(items.size()));
+  decoder.Run(ptrs);
+
+  for (size_t b = 0; b < items.size(); ++b) {
+    const BatchDecodeItem& item = items[b];
+    if (!item.status.ok()) {
+      return OracleViolation{
+          "batch-decode",
+          StrFormat("lane %zu failed: ", b) + item.status.ToString()};
+    }
+    auto ref = run_scalar(item.rng_seed, item.n);
+    if (!ref.ok()) {
+      return OracleViolation{
+          "batch-decode",
+          StrFormat("scalar reference for lane %zu failed: ", b) +
+              ref.status().ToString()};
+    }
+    if (item.report.attempts != item.n ||
+        item.report.queries.size() != ref->size()) {
+      return OracleViolation{
+          "batch-decode",
+          StrFormat("lane %zu shape diverged: attempts=%d queries=%zu "
+                    "scalar=%zu",
+                    b, item.report.attempts, item.report.queries.size(),
+                    ref->size())};
+    }
+    for (size_t q = 0; q < ref->size(); ++q) {
+      const GeneratedQuery& got = item.report.queries[q];
+      const RefQuery& want = (*ref)[q];
+      if (got.sql != want.sql) {
+        return OracleViolation{
+            "batch-decode",
+            StrFormat("lane %zu query %zu sql diverged: batched=\"%s\" "
+                      "scalar=\"%s\"",
+                      b, q, got.sql.c_str(), want.sql.c_str())};
+      }
+      if (!SameEstimate(got.metric, want.metric) ||
+          got.satisfied != want.satisfied) {
+        return OracleViolation{
+            "batch-decode",
+            StrFormat("lane %zu query %zu metric diverged: batched=%.17g/%d "
+                      "scalar=%.17g/%d",
+                      b, q, got.metric, got.satisfied ? 1 : 0, want.metric,
+                      want.satisfied ? 1 : 0)};
+      }
+    }
   }
   return std::nullopt;
 }

@@ -34,6 +34,9 @@ struct OracleOptions {
   /// Lockstep vectorized engine: vexec cardinality must equal the reference
   /// executor's bitwise, and UPDATE/DELETE row-match vectors elementwise.
   bool check_vexec = true;
+  /// Batched decode vs scalar decode: the cross-request BatchDecoder must
+  /// reproduce the sequential NextDistribution/MatVec path byte-for-byte.
+  bool check_batch_decode = true;
 
   /// Work budget per reference evaluation; exceeding it skips the check
   /// (counted in skipped()) instead of stalling the fuzzer.
@@ -110,6 +113,19 @@ class DifferentialOracle {
   std::optional<OracleViolation> CheckCompiledFsm(
       const Vocabulary* vocab, const QueryProfile& profile,
       const CompiledFsmTable* table, const std::vector<int>& actions);
+
+  /// Eighth oracle (batch-decode): builds a small randomly-initialized
+  /// policy over the oracle's database (seeded from `seed`, so batching
+  /// must hold for arbitrary weights, not just trained ones) and decodes a
+  /// group of episodes twice — once through the ragged cross-request
+  /// BatchDecoder (batched GEMM forward) and once through the scalar
+  /// NextDistribution / MatVec loop with the same per-item RNG streams —
+  /// asserting attempt counts, rendered SQL, metrics and satisfied flags
+  /// are byte-identical. This is the serving path's standing guarantee:
+  /// batching changes wall-clock only, never samples.
+  std::optional<OracleViolation> CheckBatchDecode(const Vocabulary* vocab,
+                                                 const QueryProfile& profile,
+                                                 uint64_t seed);
 
   uint64_t checked() const { return checked_; }
   /// Episodes where some check was skipped (join blowup / work budget).

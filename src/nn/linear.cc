@@ -12,6 +12,33 @@ void Linear::Forward(const float* x, float* y) const {
   for (int i = 0; i < w_.value.rows(); ++i) y[i] += b[i];
 }
 
+void Linear::ForwardBatch(const float* x_panel, int batch,
+                          float* y_panel) const {
+  MatMat(w_.value, x_panel, batch, y_panel);
+  const float* b = b_.value.data();
+  const int rows = w_.value.rows();
+  for (int i = 0; i < rows; ++i) {
+    float* ys = y_panel + static_cast<size_t>(i) * batch;
+    for (int bb = 0; bb < batch; ++bb) ys[bb] += b[i];
+  }
+}
+
+void Linear::ForwardRows(const float* x, int x_stride, const int* rows,
+                         int nrows, float* y) const {
+  const int cols = w_.value.cols();
+  const float* wd = w_.value.data();
+  const float* bias = b_.value.data();
+  for (int k = 0; k < nrows; ++k) {
+    const int i = rows[k];
+    const float* row = wd + static_cast<size_t>(i) * cols;
+    float acc = 0.f;
+    for (int j = 0; j < cols; ++j) {
+      acc += row[j] * x[static_cast<size_t>(j) * x_stride];
+    }
+    y[k] = acc + bias[i];
+  }
+}
+
 void Linear::Backward(const float* x, const float* dy, float* dx_or_null) {
   OuterAccum(&w_.grad, dy, x);
   float* db = b_.grad.data();

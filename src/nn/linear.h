@@ -18,6 +18,21 @@ class Linear {
   /// y must have room for output_dim floats.
   void Forward(const float* x, float* y) const;
 
+  /// Batched forward over a feature-major activation panel
+  /// (x_panel[j * batch + b], y_panel[i * batch + b]). Every lane is
+  /// bitwise-identical to Forward over its own vector.
+  void ForwardBatch(const float* x_panel, int batch, float* y_panel) const;
+
+  /// Sparse-row forward: y[k] = Forward(x)[rows[k]] for each of the nrows
+  /// requested output rows, reading x at the given stride (a feature-major
+  /// panel column when x_stride > 1, a plain vector at stride 1). Each row
+  /// is the same ascending-j dot product plus bias as Forward, so the
+  /// requested entries are bitwise-identical to a full forward — the
+  /// serving decode path asks for the handful of FSM-valid vocabulary rows
+  /// instead of the whole output layer.
+  void ForwardRows(const float* x, int x_stride, const int* rows, int nrows,
+                   float* y) const;
+
   /// Accumulates parameter gradients and (optionally) input gradients.
   /// `x` must be the forward input that produced `dy`.
   void Backward(const float* x, const float* dy, float* dx_or_null);

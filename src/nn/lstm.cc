@@ -68,6 +68,58 @@ void LstmCell::ForwardOneHot(int idx, const float* h_prev, const float* c_prev,
   Gates(pre.data(), cache);
 }
 
+void LstmCell::GatesBatch(const float* pre, const float* c_prev, int batch,
+                          float* h_out, float* c_out) const {
+  const int h = hidden_dim_;
+  for (int k = 0; k < h; ++k) {
+    for (int b = 0; b < batch; ++b) {
+      const float ig = Sigmoid(pre[static_cast<size_t>(k) * batch + b]);
+      const float fg = Sigmoid(pre[static_cast<size_t>(h + k) * batch + b]);
+      const float gg = std::tanh(pre[static_cast<size_t>(2 * h + k) * batch + b]);
+      const float og = Sigmoid(pre[static_cast<size_t>(3 * h + k) * batch + b]);
+      const float ck =
+          fg * c_prev[static_cast<size_t>(k) * batch + b] + ig * gg;
+      c_out[static_cast<size_t>(k) * batch + b] = ck;
+      h_out[static_cast<size_t>(k) * batch + b] = og * std::tanh(ck);
+    }
+  }
+}
+
+void LstmCell::ForwardOneHotBatch(const int* idx, const float* h_prev,
+                                  const float* c_prev, int batch, float* h_out,
+                                  float* c_out) const {
+  std::vector<float> pre(static_cast<size_t>(4 * hidden_dim_) * batch);
+  // Column gathers of Wx, one per lane: Wx * e_idx[b].
+  for (int k = 0; k < 4 * hidden_dim_; ++k) {
+    float* ps = pre.data() + static_cast<size_t>(k) * batch;
+    for (int b = 0; b < batch; ++b) {
+      LSG_DCHECK(idx[b] >= 0 && idx[b] < input_dim_);
+      ps[b] = wx_.value.at(k, idx[b]);
+    }
+  }
+  MatMatAccum(wh_.value, h_prev, batch, pre.data());
+  const float* bias = b_.value.data();
+  for (int k = 0; k < 4 * hidden_dim_; ++k) {
+    float* ps = pre.data() + static_cast<size_t>(k) * batch;
+    for (int b = 0; b < batch; ++b) ps[b] += bias[k];
+  }
+  GatesBatch(pre.data(), c_prev, batch, h_out, c_out);
+}
+
+void LstmCell::ForwardBatch(const float* x_panel, const float* h_prev,
+                            const float* c_prev, int batch, float* h_out,
+                            float* c_out) const {
+  std::vector<float> pre(static_cast<size_t>(4 * hidden_dim_) * batch);
+  MatMat(wx_.value, x_panel, batch, pre.data());
+  MatMatAccum(wh_.value, h_prev, batch, pre.data());
+  const float* bias = b_.value.data();
+  for (int k = 0; k < 4 * hidden_dim_; ++k) {
+    float* ps = pre.data() + static_cast<size_t>(k) * batch;
+    for (int b = 0; b < batch; ++b) ps[b] += bias[k];
+  }
+  GatesBatch(pre.data(), c_prev, batch, h_out, c_out);
+}
+
 void LstmCell::Backward(const Cache& cache, const float* dh, const float* dc,
                         float* dh_prev, float* dc_prev, float* dx_or_null) {
   const int h = hidden_dim_;
@@ -170,6 +222,43 @@ const std::vector<float>& LstmStack::StepImpl(int onehot_idx, const float* x0,
     state->c[l] = cc.c;
   }
   return state->h.back();
+}
+
+void LstmStack::StepBatch(const int* tokens, State* const* states, int batch,
+                          std::vector<float>* top_h_panel) const {
+  LSG_CHECK(batch > 0);
+  const int H = hidden_dim_;
+  const size_t panel = static_cast<size_t>(H) * batch;
+  std::vector<float> h_prev(panel);
+  std::vector<float> c_prev(panel);
+  std::vector<float> h_out(panel);
+  std::vector<float> c_out(panel);
+  std::vector<float> input;  // previous layer's h panel (no dropout: serving)
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    for (int k = 0; k < H; ++k) {
+      const size_t base = static_cast<size_t>(k) * batch;
+      for (int b = 0; b < batch; ++b) {
+        h_prev[base + b] = states[b]->h[l][k];
+        c_prev[base + b] = states[b]->c[l][k];
+      }
+    }
+    if (l == 0) {
+      cells_[0].ForwardOneHotBatch(tokens, h_prev.data(), c_prev.data(), batch,
+                                   h_out.data(), c_out.data());
+    } else {
+      cells_[l].ForwardBatch(input.data(), h_prev.data(), c_prev.data(), batch,
+                             h_out.data(), c_out.data());
+    }
+    for (int k = 0; k < H; ++k) {
+      const size_t base = static_cast<size_t>(k) * batch;
+      for (int b = 0; b < batch; ++b) {
+        states[b]->h[l][k] = h_out[base + b];
+        states[b]->c[l][k] = c_out[base + b];
+      }
+    }
+    input = h_out;
+  }
+  *top_h_panel = std::move(input);
 }
 
 void LstmStack::Backward(const std::vector<StepCache>& caches,

@@ -34,6 +34,20 @@ class LstmCell {
   void ForwardOneHot(int idx, const float* h_prev, const float* c_prev,
                      Cache* cache) const;
 
+  /// Inference-only batched one-hot step over `batch` independent lanes.
+  /// All panels are feature-major ([feature][lane], lane index contiguous):
+  /// h_prev/c_prev/h_out/c_out are (H x batch), idx[b] is lane b's token.
+  /// Each lane's arithmetic runs in the same per-element order as
+  /// ForwardOneHot, so results are bitwise-identical to the scalar step.
+  void ForwardOneHotBatch(const int* idx, const float* h_prev,
+                          const float* c_prev, int batch, float* h_out,
+                          float* c_out) const;
+
+  /// Dense-input batched step (x_panel is input_dim x batch, feature-major).
+  void ForwardBatch(const float* x_panel, const float* h_prev,
+                    const float* c_prev, int batch, float* h_out,
+                    float* c_out) const;
+
   /// Backward through one step. `dh`/`dc` are gradients flowing into this
   /// step's outputs; `dh_prev`/`dc_prev` receive (overwrite) gradients for
   /// the previous step; `dx_or_null` accumulates input gradients (skipped
@@ -46,6 +60,8 @@ class LstmCell {
 
  private:
   void Gates(const float* pre, Cache* cache) const;
+  void GatesBatch(const float* pre, const float* c_prev, int batch,
+                  float* h_out, float* c_out) const;
 
   int input_dim_;
   int hidden_dim_;
@@ -88,6 +104,15 @@ class LstmStack {
   /// (the AC-extend baseline of §7.4).
   const std::vector<float>& StepDense(const float* x, State* state,
                                       StepCache* cache, bool train, Rng* rng);
+
+  /// Inference-only batched step: advances `batch` independent decode lanes
+  /// one token each through a single matrix-matrix forward per layer.
+  /// tokens[b] is lane b's one-hot input; states[b] is updated in place.
+  /// No caches, no dropout (serving path). `top_h_panel` receives the top
+  /// layer's hidden panel (H x batch, feature-major) for the output head.
+  /// Per lane this is bitwise-identical to Step(..., train=false).
+  void StepBatch(const int* tokens, State* const* states, int batch,
+                 std::vector<float>* top_h_panel) const;
 
   /// Backpropagation through time over a full episode. `dtop[t]` is the
   /// loss gradient w.r.t. the top-layer hidden state after step t.

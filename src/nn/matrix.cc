@@ -44,6 +44,101 @@ void MatVecAccum(const Matrix& w, const float* x, float* y) {
   }
 }
 
+namespace {
+
+// Lanes per register tile. 16 floats span two AVX-512 / four SSE vectors;
+// small enough that the accumulators stay in registers at -O2.
+constexpr int kLaneBlock = 16;
+
+// One row-major sweep over a lane tile [b0, b0+kWidth). For each output
+// row the tile keeps kWidth independent accumulators and walks features in
+// ascending-j order, so lane b's sum reassociates nothing relative to
+// MatVec; the bb loop is stride-1 over the panel. kWidth is a template
+// parameter on purpose: GCC's SLP vectorizer (on at -O2) only fires on
+// constant-trip-count lane loops — a runtime `width` leaves the whole
+// kernel scalar. GCC only emits FMA contractions when the target ISA has
+// them, and the baseline x86-64 build (SSE2) does not, so vector mul+add
+// keeps scalar rounding and the bitwise-oracle contract holds.
+template <bool kAccum, int kWidth>
+void MatMatTile(const float* wd, int rows, int cols, const float* x_panel,
+                int batch, int b0, float* y_panel) {
+  float acc[kWidth];
+  for (int i = 0; i < rows; ++i) {
+    const float* row = wd + static_cast<size_t>(i) * cols;
+#pragma GCC unroll 16
+    for (int bb = 0; bb < kWidth; ++bb) acc[bb] = 0.f;
+    for (int j = 0; j < cols; ++j) {
+      const float wj = row[j];
+      const float* xs = x_panel + static_cast<size_t>(j) * batch + b0;
+      // Fully unrolled so the kWidth accumulators live in vector registers
+      // across the j sweep; a rolled bb loop makes GCC spill them to the
+      // stack every iteration.
+#pragma GCC unroll 16
+      for (int bb = 0; bb < kWidth; ++bb) acc[bb] += wj * xs[bb];
+    }
+    float* ys = y_panel + static_cast<size_t>(i) * batch + b0;
+    if (kAccum) {
+#pragma GCC unroll 16
+      for (int bb = 0; bb < kWidth; ++bb) ys[bb] += acc[bb];
+    } else {
+#pragma GCC unroll 16
+      for (int bb = 0; bb < kWidth; ++bb) ys[bb] = acc[bb];
+    }
+  }
+}
+
+// Greedy power-of-two tiling: every lane lands in exactly one fixed-width
+// tile, so its accumulation order is identical no matter how the batch
+// splits (16+8+4+… vs one 16-tile vs MatVec).
+template <bool kAccum>
+void MatMatImpl(const Matrix& w, const float* x_panel, int batch,
+                float* y_panel) {
+  const float* wd = w.data();
+  const int rows = w.rows();
+  const int cols = w.cols();
+  int b0 = 0;
+  for (; b0 + kLaneBlock <= batch; b0 += kLaneBlock) {
+    MatMatTile<kAccum, kLaneBlock>(wd, rows, cols, x_panel, batch, b0,
+                                   y_panel);
+  }
+  if (b0 + 8 <= batch) {
+    MatMatTile<kAccum, 8>(wd, rows, cols, x_panel, batch, b0, y_panel);
+    b0 += 8;
+  }
+  if (b0 + 4 <= batch) {
+    MatMatTile<kAccum, 4>(wd, rows, cols, x_panel, batch, b0, y_panel);
+    b0 += 4;
+  }
+  if (b0 + 2 <= batch) {
+    MatMatTile<kAccum, 2>(wd, rows, cols, x_panel, batch, b0, y_panel);
+    b0 += 2;
+  }
+  if (b0 < batch) {
+    MatMatTile<kAccum, 1>(wd, rows, cols, x_panel, batch, b0, y_panel);
+  }
+}
+
+}  // namespace
+
+void MatMat(const Matrix& w, const float* x_panel, int batch, float* y_panel) {
+  LSG_CHECK(batch > 0);
+  if (batch == 1) {
+    MatVec(w, x_panel, y_panel);
+    return;
+  }
+  MatMatImpl<false>(w, x_panel, batch, y_panel);
+}
+
+void MatMatAccum(const Matrix& w, const float* x_panel, int batch,
+                 float* y_panel) {
+  LSG_CHECK(batch > 0);
+  if (batch == 1) {
+    MatVecAccum(w, x_panel, y_panel);
+    return;
+  }
+  MatMatImpl<true>(w, x_panel, batch, y_panel);
+}
+
 void MatTVecAccum(const Matrix& w, const float* dy, float* dx) {
   const int r = w.rows();
   const int c = w.cols();
@@ -82,6 +177,12 @@ void SoftmaxInPlace(std::vector<float>* v) {
 
 void MaskedSoftmaxInPlace(std::vector<float>* v,
                           const std::vector<uint8_t>& mask) {
+  Status st = TryMaskedSoftmaxInPlace(v, mask);
+  LSG_CHECK(st.ok()) << st.ToString();
+}
+
+Status TryMaskedSoftmaxInPlace(std::vector<float>* v,
+                               const std::vector<uint8_t>& mask) {
   LSG_CHECK(v->size() == mask.size());
   float mx = -1e30f;
   bool any = false;
@@ -91,7 +192,7 @@ void MaskedSoftmaxInPlace(std::vector<float>* v,
       any = true;
     }
   }
-  LSG_CHECK(any) << "masked softmax with empty mask";
+  if (!any) return Status::Internal("masked softmax with empty mask");
   double sum = 0.0;
   for (size_t i = 0; i < v->size(); ++i) {
     if (mask[i]) {
@@ -101,9 +202,38 @@ void MaskedSoftmaxInPlace(std::vector<float>* v,
       (*v)[i] = 0.f;
     }
   }
+  // An all--inf masked row makes mx = -inf, every exp(x - mx) NaN and the
+  // partition sum NaN; a single -inf with mx finite can still underflow the
+  // sum to zero. Either way dividing would poison the distribution, so the
+  // serving path gets a structured error instead of a crash.
+  if (!(sum > 0.0) || !std::isfinite(sum)) {
+    return Status::Internal("masked softmax with degenerate logits (sum=" +
+                            std::to_string(sum) + ")");
+  }
   for (size_t i = 0; i < v->size(); ++i) {
     (*v)[i] = static_cast<float>((*v)[i] / sum);
   }
+  return Status::Ok();
+}
+
+Status TryCompactSoftmaxInPlace(float* v, size_t n) {
+  if (n == 0) return Status::Internal("masked softmax with empty mask");
+  float mx = -1e30f;
+  for (size_t i = 0; i < n; ++i) mx = std::max(mx, v[i]);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::exp(v[i] - mx);
+    sum += v[i];
+  }
+  // Same degenerate-row contract as TryMaskedSoftmaxInPlace (see there).
+  if (!(sum > 0.0) || !std::isfinite(sum)) {
+    return Status::Internal("masked softmax with degenerate logits (sum=" +
+                            std::to_string(sum) + ")");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(v[i] / sum);
+  }
+  return Status::Ok();
 }
 
 void ParamSnapshot::Save(const std::vector<ParamTensor*>& params) {

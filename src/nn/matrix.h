@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 
 namespace lsg {
 
@@ -62,6 +63,21 @@ void MatVec(const Matrix& w, const float* x, float* y);
 /// y += W x.
 void MatVecAccum(const Matrix& w, const float* x, float* y);
 
+/// Batched matrix-matrix product over a feature-major activation panel:
+/// Y = W X, where X packs `batch` activation vectors lane-interleaved
+/// (x_panel[j * batch + b] is feature j of lane b) and Y has the same
+/// layout over rows (y_panel[i * batch + b]). The lane-contiguous layout
+/// makes the inner loop a stride-1 autovectorizable accumulate, while each
+/// lane's per-row sum still runs in ascending-j order — so every lane is
+/// bitwise-identical to a MatVec over its own vector. batch == 1 delegates
+/// to MatVec, which stays the differential oracle for the blocked path.
+void MatMat(const Matrix& w, const float* x_panel, int batch, float* y_panel);
+
+/// Y += W X, same panel layout as MatMat. The per-row tile sum is computed
+/// first and added once, matching MatVecAccum's compute-then-add order.
+void MatMatAccum(const Matrix& w, const float* x_panel, int batch,
+                 float* y_panel);
+
 /// dx += W^T dy.
 void MatTVecAccum(const Matrix& w, const float* dy, float* dx);
 
@@ -72,9 +88,25 @@ void OuterAccum(Matrix* dw, const float* dy, const float* x);
 void SoftmaxInPlace(std::vector<float>* v);
 
 /// Masked softmax: entries with mask==0 get probability 0. Requires at
-/// least one unmasked entry.
+/// least one unmasked entry and a non-degenerate row; aborts otherwise.
 void MaskedSoftmaxInPlace(std::vector<float>* v,
                           const std::vector<uint8_t>& mask);
+
+/// Non-aborting masked softmax for the serving path: an empty mask or a
+/// degenerate logit row (all masked entries -inf / overflowed, so the
+/// partition sum is zero or non-finite) comes back as kInternal instead of
+/// taking the whole process down. On success the result is bitwise
+/// identical to MaskedSoftmaxInPlace; on error `v` is left unspecified.
+Status TryMaskedSoftmaxInPlace(std::vector<float>* v,
+                               const std::vector<uint8_t>& mask);
+
+/// TryMaskedSoftmaxInPlace over an already-compacted logit span: `v` holds
+/// only the masked entries, in ascending index order. The max / exp /
+/// partition-sum / divide sequence touches the same values in the same
+/// order as the masked form (unmasked entries there are exact zeros that
+/// never enter the sums), so the resulting probabilities and the Status on
+/// degenerate rows are bitwise-identical. n == 0 is the empty-mask error.
+Status TryCompactSoftmaxInPlace(float* v, size_t n);
 
 /// Rescales all gradients so their global L2 norm is at most max_norm.
 /// Returns the pre-clip norm.

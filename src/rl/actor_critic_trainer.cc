@@ -21,7 +21,7 @@ ActorCriticTrainer::ActorCriticTrainer(Environment* env,
 
 StatusOr<Trajectory> ActorCriticTrainer::RolloutWithCritic(
     PolicyNetwork::Episode* actor_ep, ValueNetwork::Episode* critic_ep,
-    bool train) {
+    bool train, Rng* rng) {
   env_->Reset();
   *actor_ep = actor_->BeginEpisode(train);
   *critic_ep = critic_->BeginEpisode(train);
@@ -32,9 +32,12 @@ StatusOr<Trajectory> ActorCriticTrainer::RolloutWithCritic(
   int prev = actor_->bos_index();
   for (int step = 0; step < kMaxSteps; ++step) {
     const std::vector<uint8_t>& mask = env_->ValidActions();
-    const std::vector<float>& probs = actor_->NextDistribution(actor_ep, mask);
+    const std::vector<float>* probs_ptr = nullptr;
+    LSG_RETURN_IF_ERROR(
+        actor_->TryNextDistribution(actor_ep, mask, &probs_ptr));
+    const std::vector<float>& probs = *probs_ptr;
     if (train) critic_->StepValue(critic_ep, prev);  // V(s_t)
-    int a = actor_->SampleAction(probs, &rng_);
+    int a = actor_->SampleAction(probs, rng);
     actor_->RecordAction(actor_ep, a);
     auto sr = env_->Step(a);
     if (!sr.ok()) return sr.status();
@@ -63,7 +66,7 @@ StatusOr<EpochStats> ActorCriticTrainer::TrainEpoch() {
   std::vector<std::vector<double>> advantages(options_.batch_size);
   for (int b = 0; b < options_.batch_size; ++b) {
     auto traj =
-        RolloutWithCritic(&actor_eps[b], &critic_eps[b], /*train=*/true);
+        RolloutWithCritic(&actor_eps[b], &critic_eps[b], /*train=*/true, &rng_);
     if (!traj.ok()) return traj.status();
     const size_t T = traj->rewards.size();
     ValueNetwork::Episode& critic_ep = critic_eps[b];
@@ -130,7 +133,13 @@ bool ActorCriticTrainer::RestoreBestActor() {
 StatusOr<Trajectory> ActorCriticTrainer::Generate() {
   PolicyNetwork::Episode actor_ep;
   ValueNetwork::Episode critic_ep;
-  return RolloutWithCritic(&actor_ep, &critic_ep, /*train=*/false);
+  return RolloutWithCritic(&actor_ep, &critic_ep, /*train=*/false, &rng_);
+}
+
+StatusOr<Trajectory> ActorCriticTrainer::Generate(Rng* rng) {
+  PolicyNetwork::Episode actor_ep;
+  ValueNetwork::Episode critic_ep;
+  return RolloutWithCritic(&actor_ep, &critic_ep, /*train=*/false, rng);
 }
 
 }  // namespace lsg

@@ -22,6 +22,12 @@ class ActorCriticTrainer {
   /// Inference: generates one query with the current policy.
   StatusOr<Trajectory> Generate();
 
+  /// Inference with a caller-owned RNG stream (serving path: each request
+  /// samples from its own (seed, request)-derived stream). For the standard
+  /// model this is op-for-op RNG-equivalent to Generate() — the critic is
+  /// skipped at inference and consumes no random numbers.
+  StatusOr<Trajectory> Generate(Rng* rng);
+
   /// Rolls the actor back to its best checkpoint (keep_best_actor).
   bool RestoreBestActor();
 
@@ -42,10 +48,11 @@ class ActorCriticTrainer {
   void set_environment(Environment* env) { env_ = env; }
 
  private:
-  /// One training episode: rolls out actor and critic in lockstep.
+  /// One training episode: rolls out actor and critic in lockstep. `rng`
+  /// drives action sampling (TrainEpoch passes the trainer's own stream).
   StatusOr<Trajectory> RolloutWithCritic(PolicyNetwork::Episode* actor_ep,
                                          ValueNetwork::Episode* critic_ep,
-                                         bool train);
+                                         bool train, Rng* rng);
 
   Environment* env_;
   TrainerOptions options_;

@@ -23,6 +23,15 @@ PolicyNetwork::Episode PolicyNetwork::BeginEpisode(bool train) const {
 
 const std::vector<float>& PolicyNetwork::NextDistribution(
     Episode* ep, const std::vector<uint8_t>& mask) {
+  const std::vector<float>* out = nullptr;
+  Status st = TryNextDistribution(ep, mask, &out);
+  LSG_CHECK(st.ok()) << st.ToString();
+  return *out;
+}
+
+Status PolicyNetwork::TryNextDistribution(Episode* ep,
+                                          const std::vector<uint8_t>& mask,
+                                          const std::vector<float>** out) {
   const int prev =
       ep->actions.empty() ? bos_index() : ep->actions.back();
   LstmStack::StepCache* cache = nullptr;
@@ -45,21 +54,77 @@ const std::vector<float>& PolicyNetwork::NextDistribution(
   }
   std::vector<float> logits(vocab_size_);
   head_.Forward(top->data(), logits.data());
-  MaskedSoftmaxInPlace(&logits, mask);
+  LSG_RETURN_IF_ERROR(TryMaskedSoftmaxInPlace(&logits, mask));
   ep->probs.push_back(std::move(logits));
   ep->masks.push_back(mask);
-  return ep->probs.back();
+  *out = &ep->probs.back();
+  return Status::Ok();
+}
+
+void PolicyNetwork::NextDistributionBatch(
+    Episode* const* lanes, const std::vector<uint8_t>* const* masks, int batch,
+    CompactDistribution* dists, Status* statuses) const {
+  LSG_CHECK(options_.extra_input_dims == 0)
+      << "batched decode supports the standard one-hot model only";
+  std::vector<int> tokens(batch);
+  std::vector<LstmStack::State*> states(batch);
+  for (int b = 0; b < batch; ++b) {
+    LSG_CHECK(!lanes[b]->train);
+    tokens[b] =
+        lanes[b]->actions.empty() ? bos_index() : lanes[b]->actions.back();
+    states[b] = &lanes[b]->state;
+  }
+  std::vector<float> top_panel;
+  lstm_.StepBatch(tokens.data(), states.data(), batch, &top_panel);
+  // The FSM admits only a handful of tokens per step (mean mask width ~9
+  // of ~2800 on the paper workloads), so the head projects just each
+  // lane's masked rows — identical per-row dot products against the
+  // lane's panel column — and the softmax runs on the compacted support.
+  // Eval episodes never materialize the full distribution: nothing replays
+  // their history the way AccumulateGradients replays train episodes, and
+  // sampling only needs the masked entries.
+  for (int b = 0; b < batch; ++b) {
+    CompactDistribution& d = dists[b];
+    const std::vector<uint8_t>& mask = *masks[b];
+    LSG_CHECK(static_cast<int>(mask.size()) == vocab_size_);
+    d.idx.clear();
+    for (int i = 0; i < vocab_size_; ++i) {
+      if (mask[i]) d.idx.push_back(i);
+    }
+    if (d.idx.empty()) {
+      statuses[b] = Status::Internal("masked softmax with empty mask");
+      continue;
+    }
+    d.probs.resize(d.idx.size());
+    head_.ForwardRows(top_panel.data() + b, batch, d.idx.data(),
+                      static_cast<int>(d.idx.size()), d.probs.data());
+    statuses[b] = TryCompactSoftmaxInPlace(d.probs.data(), d.probs.size());
+  }
 }
 
 int PolicyNetwork::SampleAction(const std::vector<float>& probs,
                                 Rng* rng) const {
-  std::vector<double> w(probs.begin(), probs.end());
-  size_t idx = rng->Categorical(w);
+  size_t idx = rng->Categorical(probs.data(), probs.size());
   if (idx >= probs.size()) {
     // All-zero guard (cannot happen with a valid mask): fall back to argmax.
     return GreedyAction(probs);
   }
   return static_cast<int>(idx);
+}
+
+int PolicyNetwork::SampleAction(const CompactDistribution& d,
+                                Rng* rng) const {
+  size_t k = rng->Categorical(d.probs.data(), d.probs.size());
+  if (k >= d.probs.size()) {
+    // All-zero guard, mirroring the full-vocabulary fallback (unreachable
+    // after a successful softmax): greedy over the compact support.
+    size_t best = 0;
+    for (size_t i = 1; i < d.probs.size(); ++i) {
+      if (d.probs[i] > d.probs[best]) best = i;
+    }
+    k = best;
+  }
+  return d.idx[k];
 }
 
 int PolicyNetwork::GreedyAction(const std::vector<float>& probs) const {

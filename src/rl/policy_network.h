@@ -47,15 +47,54 @@ class PolicyNetwork {
 
   /// Advances the LSTM over the previous action (BOS on the first call) and
   /// returns the masked action distribution for the next step. The returned
-  /// reference lives in `ep` until the next call.
+  /// reference lives in `ep` until the next call. Aborts on a degenerate
+  /// masked logit row; serving paths use TryNextDistribution instead.
   const std::vector<float>& NextDistribution(Episode* ep,
                                              const std::vector<uint8_t>& mask);
+
+  /// Non-aborting NextDistribution: a degenerate masked softmax row comes
+  /// back as kInternal (the episode is then unusable) instead of taking the
+  /// process down. On success `*out` points at the distribution inside `ep`
+  /// and the episode state matches NextDistribution bitwise.
+  Status TryNextDistribution(Episode* ep, const std::vector<uint8_t>& mask,
+                             const std::vector<float>** out);
+
+  /// Compact masked action distribution for one decode step: probs[k] is
+  /// the probability of vocabulary index idx[k], for the (typically few)
+  /// FSM-valid tokens only. In the full-vocabulary distribution every
+  /// unmasked entry is an exact +0.0 that can influence neither the softmax
+  /// sums nor a cumulative sample walk, so the compact values — and any
+  /// token sampled from them — are bitwise-identical to the
+  /// TryNextDistribution path while skipping the dead ~99% of the output
+  /// layer. Reuse one instance per lane slot across steps to keep the
+  /// heap quiet.
+  struct CompactDistribution {
+    std::vector<int> idx;      ///< masked vocabulary indices, ascending
+    std::vector<float> probs;  ///< probabilities over idx
+  };
+
+  /// Inference-only batched step: advances `batch` independent episodes one
+  /// token each through a single batched LSTM forward, then projects only
+  /// each lane's masked head rows into dists[b] (see CompactDistribution
+  /// for the bitwise contract with TryNextDistribution). Requires
+  /// extra_input_dims == 0 and !train on every lane (the serving model).
+  /// statuses[b] receives the lane's masked-softmax status (a kInternal
+  /// lane's dists entry is unspecified and the lane must be dropped).
+  void NextDistributionBatch(Episode* const* lanes,
+                             const std::vector<uint8_t>* const* masks,
+                             int batch, CompactDistribution* dists,
+                             Status* statuses) const;
 
   /// Records the sampled action (must follow NextDistribution).
   void RecordAction(Episode* ep, int action) const { ep->actions.push_back(action); }
 
   /// Samples from a distribution.
   int SampleAction(const std::vector<float>& probs, Rng* rng) const;
+
+  /// Samples a vocabulary index from a compact masked distribution; the
+  /// consumed RNG stream and the returned token match SampleAction over
+  /// the equivalent full-vocabulary distribution bitwise.
+  int SampleAction(const CompactDistribution& d, Rng* rng) const;
 
   /// Arg-max action (greedy decoding).
   int GreedyAction(const std::vector<float>& probs) const;

@@ -40,7 +40,9 @@ StatusOr<Trajectory> RolloutPolicy(Environment* env, PolicyNetwork* actor,
   const int kMaxSteps = 512;
   for (int step = 0; step < kMaxSteps; ++step) {
     const std::vector<uint8_t>& mask = env->ValidActions();
-    const std::vector<float>& probs = actor->NextDistribution(&ep, mask);
+    const std::vector<float>* probs_ptr = nullptr;
+    LSG_RETURN_IF_ERROR(actor->TryNextDistribution(&ep, mask, &probs_ptr));
+    const std::vector<float>& probs = *probs_ptr;
     int a = actor->SampleAction(probs, rng);
     actor->RecordAction(&ep, a);
     auto sr = env->Step(a);
@@ -130,6 +132,10 @@ bool ReinforceTrainer::RestoreBestActor() {
 
 StatusOr<Trajectory> ReinforceTrainer::Generate() {
   return RolloutPolicy(env_, actor_.get(), &rng_, /*train=*/false, nullptr);
+}
+
+StatusOr<Trajectory> ReinforceTrainer::Generate(Rng* rng) {
+  return RolloutPolicy(env_, actor_.get(), rng, /*train=*/false, nullptr);
 }
 
 }  // namespace lsg

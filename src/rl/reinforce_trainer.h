@@ -64,6 +64,11 @@ class ReinforceTrainer {
   /// Inference: generates one query with the current policy (no learning).
   StatusOr<Trajectory> Generate();
 
+  /// Inference with a caller-owned RNG stream (the serving path draws each
+  /// request's stream from (seed, request), so batch-mates and worker
+  /// placement cannot perturb each other's samples).
+  StatusOr<Trajectory> Generate(Rng* rng);
+
   /// Rolls the actor back to its best checkpoint (keep_best_actor).
   /// Returns false if no checkpoint exists yet.
   bool RestoreBestActor();

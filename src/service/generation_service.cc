@@ -1,9 +1,13 @@
 #include "service/generation_service.h"
 
+#include <algorithm>
+#include <bit>
+#include <deque>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "core/batch_decoder.h"
 #include "obs/span_tracer.h"
 
 namespace lsg {
@@ -23,6 +27,35 @@ LearnedSqlGenOptions MergedGenOptions(const GenerationServiceOptions& options) {
     gen.compiled_fsm_cache_dir = options.registry.spill_dir + "/compiled_fsm";
   }
   return gen;
+}
+
+// A request's private sampling stream: a SplitMix64 chain over the base
+// seed and every request field. The stream is a pure function of
+// (seed, request), so a request's output cannot depend on worker
+// placement, queue order or which batch mates it was coalesced with —
+// the reproducibility contract batching must not break.
+uint64_t RequestSeed(uint64_t base, const GenerationRequest& request) {
+  const Constraint& c = request.constraint;
+  uint64_t h = SplitMix64(base);
+  h = SplitMix64(h ^ static_cast<uint64_t>(c.metric));
+  h = SplitMix64(h ^ static_cast<uint64_t>(c.kind));
+  h = SplitMix64(h ^ std::bit_cast<uint64_t>(c.point));
+  h = SplitMix64(h ^ std::bit_cast<uint64_t>(c.lo));
+  h = SplitMix64(h ^ std::bit_cast<uint64_t>(c.hi));
+  h = SplitMix64(h ^ std::bit_cast<uint64_t>(c.point_tolerance));
+  h = SplitMix64(h ^ static_cast<uint64_t>(request.n));
+  h = SplitMix64(h ^ (request.batch ? 2u : 1u));
+  return SplitMix64(h ^ request.id);
+}
+
+// A bucket's training seed: a pure function of (seed, bucket), so the
+// model a bucket trains is the same no matter which worker's request got
+// there first. (The old scheme drew from the claiming worker's stream,
+// which made cached models — and everything generated from them — depend
+// on request interleaving across workers.)
+uint64_t BucketTrainSeed(uint64_t base, const ConstraintKey& key) {
+  return SplitMix64(SplitMix64(base) ^
+                    static_cast<uint64_t>(ConstraintKeyHash{}(key)));
 }
 
 }  // namespace
@@ -124,63 +157,197 @@ ServiceMetricsSnapshot GenerationService::Metrics() const {
 }
 
 void GenerationService::WorkerLoop(int worker_index) {
-  // Deterministic per-worker stream: base seed + stable worker index mixed
-  // through SplitMix64, so concurrency-1 runs with a fixed request order
-  // replay exactly, and nearby seeds stay decorrelated across workers.
-  Rng rng(SplitMix64(options_.gen.seed + static_cast<uint64_t>(worker_index)));
-  while (auto job = queue_.Pop()) {
-    GenerationResponse response;
-    response.id = job->request.id;
-    response.worker = worker_index;
-    response.queue_seconds = job->queued.ElapsedSeconds();
-    metrics_.AddQueueSeconds(response.queue_seconds);
-    metrics_.queue_wait_ns.Record(job->queued.ElapsedNanos());
-    {
-      LSG_OBS_SPAN("service.handle");
-      obs::ScopedHistogramTimer handle_timer(&metrics_.handle_ns);
-      Stopwatch busy;
-      response.status = Handle(job->request, &rng, &response);
-      metrics_.AddBusySeconds(busy.ElapsedSeconds());
+  const int max_batch = std::max(1, options_.max_batch);
+  // A group may hold more requests than decode lanes: BatchDecoder admits
+  // queued items as lanes retire, so a deeper group keeps the batch full
+  // instead of draining to zero between groups. The 4x cap bounds how long
+  // the last request in a group can wait on its batch-mates.
+  const int group_cap = max_batch * 4;
+  // Jobs popped but not yet handled. The loop only blocks on the queue
+  // while this is empty, so a request accepted before Shutdown() but still
+  // sitting here when the queue closes is always completed, never
+  // orphaned: Pop() returning nullopt (closed + drained) can only end the
+  // loop once the backlog has been worked off too.
+  std::deque<Job> backlog;
+  for (;;) {
+    if (backlog.empty()) {
+      auto job = queue_.Pop();
+      if (!job.has_value()) return;  // closed and fully drained
+      backlog.push_back(std::move(*job));
     }
-    if (response.status.ok()) {
+    // Top up opportunistically — never stall the requests already held.
+    while (static_cast<int>(backlog.size()) < group_cap) {
+      auto job = queue_.TryPop();
+      if (!job.has_value()) break;
+      backlog.push_back(std::move(*job));
+    }
+    // Coalesce the oldest request's bucket mates, preserving arrival
+    // order. Other buckets stay in the backlog for the next round.
+    std::vector<Job> group;
+    group.reserve(backlog.size());
+    const ConstraintKey key = BucketOf(backlog.front().request.constraint);
+    for (auto it = backlog.begin();
+         it != backlog.end() && static_cast<int>(group.size()) < group_cap;) {
+      if (BucketOf(it->request.constraint) == key) {
+        group.push_back(std::move(*it));
+        it = backlog.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    HandleGroup(worker_index, key, &group);
+  }
+}
+
+void GenerationService::HandleGroup(int worker_index, const ConstraintKey& key,
+                                    std::vector<Job>* group) {
+  std::vector<GenerationResponse> responses(group->size());
+  for (size_t i = 0; i < group->size(); ++i) {
+    Job& job = (*group)[i];
+    responses[i].id = job.request.id;
+    responses[i].worker = worker_index;
+    responses[i].queue_seconds = job.queued.ElapsedSeconds();
+    metrics_.AddQueueSeconds(responses[i].queue_seconds);
+    metrics_.queue_wait_ns.Record(job.queued.ElapsedNanos());
+  }
+  {
+    LSG_OBS_SPAN("service.handle");
+    obs::ScopedHistogramTimer handle_timer(&metrics_.handle_ns);
+    Stopwatch busy;
+    RunGroup(key, group, &responses);
+    metrics_.AddBusySeconds(busy.ElapsedSeconds());
+  }
+  for (size_t i = 0; i < group->size(); ++i) {
+    if (responses[i].status.ok()) {
       metrics_.requests_completed.Inc();
     } else {
       metrics_.requests_failed.Inc();
     }
-    job->promise.set_value(std::move(response));
+    (*group)[i].promise.set_value(std::move(responses[i]));
   }
 }
 
-Status GenerationService::Handle(const GenerationRequest& request, Rng* rng,
-                                 GenerationResponse* response) {
-  if (request.n <= 0) {
-    return Status::InvalidArgument("request.n must be positive");
-  }
-  // Drawing the seed unconditionally keeps each worker's stream in lockstep
-  // with its request sequence, hit or miss.
-  const uint64_t train_seed = rng->Next();
-  auto acquired = registry_.Acquire(request.constraint, train_seed);
-  if (!acquired.ok()) return acquired.status();
-  response->cache_hit = acquired->cache_hit;
-  response->warm_start = acquired->warm_start;
+void GenerationService::RunGroup(const ConstraintKey& key,
+                                 std::vector<Job>* group,
+                                 std::vector<GenerationResponse>* responses) {
+  const uint64_t train_seed = BucketTrainSeed(options_.gen.seed, key);
 
-  ModelEntry* entry = acquired->entry.get();
-  MutexLock model_lock(&entry->mu);
-  LearnedSqlGen* gen = entry->gen.get();
-  if (gen == nullptr) {
-    return Status::Internal("registry returned an empty model");
+  // Resolve the model once per request (each one keeps its own hit/miss
+  // accounting) and stage a decode item for every runnable request.
+  struct Pending {
+    size_t index = 0;  ///< position in group / responses
+    std::shared_ptr<ModelEntry> entry;
+    std::shared_ptr<const ServingSnapshot> snapshot;
+    BatchDecodeItem item;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(group->size());
+  for (size_t i = 0; i < group->size(); ++i) {
+    const GenerationRequest& request = (*group)[i].request;
+    GenerationResponse& response = (*responses)[i];
+    if (request.n <= 0) {
+      response.status = Status::InvalidArgument("request.n must be positive");
+      continue;
+    }
+    auto acquired = registry_.Acquire(request.constraint, train_seed);
+    if (!acquired.ok()) {
+      response.status = acquired.status();
+      continue;
+    }
+    response.cache_hit = acquired->cache_hit;
+    response.warm_start = acquired->warm_start;
+    Pending p;
+    p.index = i;
+    p.entry = std::move(acquired->entry);
+    {
+      MutexLock entry_lock(&p.entry->mu);
+      if (p.entry->gen == nullptr) {
+        response.status = Status::Internal("registry returned an empty model");
+        continue;
+      }
+      response.train_seconds = p.entry->gen->last_train_seconds();
+      p.snapshot = p.entry->snapshot;
+    }
+    p.item.n = request.n;
+    p.item.batch_mode = request.batch;
+    p.item.rng_seed = RequestSeed(options_.gen.seed, request);
+    pending.push_back(std::move(p));
   }
-  response->train_seconds = gen->last_train_seconds();
-  auto report = request.batch ? gen->GenerateBatch(request.n)
-                              : gen->GenerateSatisfied(request.n);
-  if (!report.ok()) return report.status();
-  response->generate_seconds = report->generate_seconds;
-  metrics_.AddGenerateSeconds(report->generate_seconds);
-  metrics_.attempts.Add(static_cast<uint64_t>(report->attempts));
-  metrics_.queries_generated.Add(report->queries.size());
-  metrics_.queries_satisfied.Add(static_cast<uint64_t>(report->satisfied));
-  response->report = std::move(*report);
-  return Status::Ok();
+
+  auto finish = [&](Pending& p) {
+    GenerationResponse& response = (*responses)[p.index];
+    response.status = std::move(p.item.status);
+    if (!response.status.ok()) return;
+    GenerationReport& report = p.item.report;
+    response.generate_seconds = report.generate_seconds;
+    metrics_.AddGenerateSeconds(report.generate_seconds);
+    metrics_.attempts.Add(static_cast<uint64_t>(report.attempts));
+    metrics_.queries_generated.Add(report.queries.size());
+    metrics_.queries_satisfied.Add(static_cast<uint64_t>(report.satisfied));
+    response.report = std::move(report);
+  };
+
+  // Batched path: all items sharing a snapshot decode as one ragged batch,
+  // lock-free (the snapshot is immutable and the entry shared_ptr keeps it
+  // alive even across an eviction). Distinct snapshots inside one bucket
+  // group can only arise from an evict/rebuild race; each cohort simply
+  // decodes separately. max_batch <= 1 disables the decoder entirely and
+  // pins the legacy single-stream generate path below — the compatibility
+  // escape hatch, and the reference baseline the batched path is measured
+  // against in bench_service_throughput.
+  const bool batching = options_.max_batch > 1;
+  std::vector<char> done(pending.size(), 0);
+  for (size_t i = 0; batching && i < pending.size(); ++i) {
+    if (done[i] || pending[i].snapshot == nullptr) continue;
+    std::vector<BatchDecodeItem*> items;
+    std::vector<size_t> members;
+    for (size_t j = i; j < pending.size(); ++j) {
+      if (!done[j] && pending[j].snapshot == pending[i].snapshot) {
+        items.push_back(&pending[j].item);
+        members.push_back(j);
+        done[j] = 1;
+      }
+    }
+    BatchDecoder decoder(
+        pending[i].snapshot.get(),
+        std::min(std::max(1, options_.max_batch),
+                 static_cast<int>(items.size())));
+    const BatchDecoder::Stats stats = decoder.Run(items);
+    // service.batch_size tracks the decode width actually achieved: the
+    // mean number of lanes per batched forward step, rounded to nearest.
+    if (stats.steps > 0) {
+      metrics_.batch_size.Record((stats.lane_steps + stats.steps / 2) /
+                                 stats.steps);
+    }
+    for (size_t j : members) finish(pending[j]);
+  }
+
+  // Fallback for snapshot-less models (e.g. dense extra inputs) and for
+  // batching-off deployments: generate one request at a time under the
+  // model mutex, exactly the pre-batching serving path but on the
+  // request's private stream.
+  for (Pending& p : pending) {
+    if (batching && p.snapshot != nullptr) continue;
+    const GenerationRequest& request = (*group)[p.index].request;
+    MutexLock model_lock(&p.entry->mu);
+    LearnedSqlGen* gen = p.entry->gen.get();
+    if (gen == nullptr) {
+      (*responses)[p.index].status =
+          Status::Internal("registry returned an empty model");
+      continue;
+    }
+    metrics_.batch_size.Record(1);  // snapshot-less requests decode alone
+    Rng rng(p.item.rng_seed);
+    auto report = request.batch ? gen->GenerateBatch(request.n, &rng)
+                                : gen->GenerateSatisfied(request.n, &rng);
+    if (!report.ok()) {
+      p.item.status = report.status();
+    } else {
+      p.item.status = Status::Ok();
+      p.item.report = std::move(*report);
+    }
+    finish(p);
+  }
 }
 
 }  // namespace lsg

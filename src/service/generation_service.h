@@ -42,11 +42,20 @@ struct GenerationResponse {
 struct GenerationServiceOptions {
   int num_workers = 4;
   size_t queue_capacity = 64;
+  /// Cross-request micro-batching width: a worker coalesces up to
+  /// `max_batch` queued requests that resolve to the same constraint
+  /// bucket and advances them one token per step through a single batched
+  /// forward (see BatchDecoder), so batch mates share every matrix load.
+  /// <= 1 disables coalescing. Outputs are identical either way: each
+  /// request samples from its own (seed, request)-derived stream, so batch
+  /// composition, worker placement and queue order cannot perturb results.
+  int max_batch = 8;
   ModelRegistry::Options registry;
   /// Base pipeline configuration. `gen.seed` is the service's base seed:
-  /// worker w draws its RNG stream from SplitMix64(gen.seed + w), so runs
-  /// with fixed seeds and fixed request order are reproducible at
-  /// concurrency 1.
+  /// a request's sampling stream and a bucket's training seed are both
+  /// pure functions of (gen.seed, request) resp. (gen.seed, bucket), so
+  /// runs with fixed seeds are reproducible at any worker count, with
+  /// batching on or off.
   LearnedSqlGenOptions gen;
   /// Registry backing the service counters. Defaults to a private one
   /// (per-service isolation); pass &obs::MetricsRegistry::Global() to
@@ -68,11 +77,15 @@ struct GenerationServiceOptions {
 };
 
 /// Multi-tenant front end over LearnedSqlGen: a fixed worker pool drains a
-/// bounded MPMC request queue; each worker resolves its request's
-/// constraint bucket through the shared ModelRegistry (training at most
-/// once per bucket) and generates under that model's lock. Submit blocks
-/// when the queue is full (backpressure); TrySubmit fails fast instead.
-/// Shutdown() drains every accepted request before joining the workers.
+/// bounded MPMC request queue; each worker coalesces up to `max_batch`
+/// queued requests whose constraints share a registry bucket and decodes
+/// them together against that bucket's immutable model snapshot — one
+/// batched LSTM forward per step for the whole group (see BatchDecoder).
+/// Buckets are trained at most once via the shared ModelRegistry; models
+/// without a snapshot are served one request at a time under their lock.
+/// Submit blocks when the queue is full (backpressure); TrySubmit fails
+/// fast instead. Shutdown() drains every accepted request — including ones
+/// a worker is still holding in its local group — before joining.
 class GenerationService {
  public:
   /// `db` must outlive the service. Workers start immediately.
@@ -118,8 +131,15 @@ class GenerationService {
                     const GenerationServiceOptions& options);
 
   void WorkerLoop(int worker_index);
-  Status Handle(const GenerationRequest& request, Rng* rng,
-                GenerationResponse* response);
+  /// Runs one coalesced same-bucket group: records queue/batch metrics,
+  /// generates (RunGroup), completes every promise.
+  void HandleGroup(int worker_index, const ConstraintKey& key,
+                   std::vector<Job>* group);
+  /// Resolves the group's model and decodes all requests — batched over
+  /// the entry's published snapshot when available, else per request under
+  /// the model mutex. Fills one response per job; never throws a job away.
+  void RunGroup(const ConstraintKey& key, std::vector<Job>* group,
+                std::vector<GenerationResponse>* responses);
   static std::future<GenerationResponse> RejectedFuture(uint64_t id,
                                                         Status status);
 

@@ -130,6 +130,16 @@ void ModelRegistry::BuildEntry(const ConstraintKey& key, ModelEntry* entry,
       }
     }
   }
+  if (status.ok()) {
+    // Publish the copy-free serving view. Failure is not fatal: models the
+    // batched path cannot drive (dense extra inputs) keep snapshot == null
+    // and are served on the per-request fallback under entry->mu.
+    auto snap = entry->gen->MakeServingSnapshot();
+    if (snap.ok()) {
+      entry->snapshot =
+          std::make_shared<const ServingSnapshot>(std::move(*snap));
+    }
+  }
   if (!status.ok()) entry->gen.reset();
   entry->status = status;
   entry->ready = true;

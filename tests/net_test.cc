@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -773,6 +774,69 @@ TEST(NetServiceE2eTest, GeneratesOverLoopbackWithRealService) {
   // be able to observe every future first).
   (*service)->Shutdown();
   EXPECT_EQ((*service)->Metrics().requests_completed, 2u);
+}
+
+// Drain-under-load audit: requests accepted by the service *before* the
+// server begins draining, but only coalesced into a worker's batch *after*
+// drain started, must still be completed and answered — never orphaned.
+// One worker stuck training the bucket's first model guarantees the rest
+// of the burst is still queued when BeginDrain lands; with max_batch > 1
+// the backlog is then handled as one post-drain group.
+TEST(NetServiceE2eTest, DrainUnderLoadCompletesBatchedBacklog) {
+  Database db = BuildScoreStudentDb();
+  GenerationServiceOptions svc_opts;
+  svc_opts.num_workers = 1;
+  svc_opts.max_batch = 8;
+  svc_opts.queue_capacity = 16;
+  svc_opts.gen.train_epochs = 8;
+  svc_opts.gen.trainer.batch_size = 4;
+  svc_opts.gen.attempts_factor = 40;
+  auto service = GenerationService::Create(&db, svc_opts);
+  ASSERT_TRUE(service.ok());
+
+  ServiceDispatcher dispatcher(service->get());
+  NetServerOptions opts = QuickOptions();
+  opts.drain_timeout_ms = 120000;  // completion, not deadline, ends drain
+  auto server = NetServer::Create(&dispatcher, opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+
+  auto client =
+      BlockingClient::Connect("127.0.0.1", (*server)->port(), 120000);
+  ASSERT_TRUE(client.ok());
+  constexpr uint64_t kRequests = 5;
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    ASSERT_TRUE(
+        client
+            ->SendLine(BuildRequestLine("t", id, kRangeConstraint, 1, true))
+            .ok());
+  }
+  // Wait until the service has *accepted* the whole burst, then drain
+  // while the single worker is still training request 1's model.
+  while ((*service)->Metrics().requests_submitted < kRequests) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (*server)->BeginDrain();
+
+  std::set<uint64_t> answered;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto line = client->ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    auto doc = obs::JsonParse(*line);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_DOUBLE_EQ(doc->NumberOr("ok", -1), 1.0);
+    answered.insert(static_cast<uint64_t>(doc->NumberOr("id", 0)));
+  }
+  EXPECT_EQ(answered.size(), kRequests);  // every accepted id came back
+
+  client->Close();
+  ASSERT_TRUE((*server)->Join().ok());
+  EXPECT_EQ(NetCounter(server->get(), "net.req.ok"), kRequests);
+  EXPECT_EQ(NetCounter(server->get(), "net.req.orphaned"), 0u);
+  ExpectExactAccounting(server->get());
+
+  (*service)->Shutdown();
+  EXPECT_EQ((*service)->Metrics().requests_completed, kRequests);
 }
 
 TEST(NetServiceE2eTest, ServiceShutdownUnderServerMapsToDraining) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "nn/adam.h"
 #include "nn/dropout.h"
@@ -96,6 +97,174 @@ TEST(MaskedSoftmaxTest, MaskedEntriesZero) {
   EXPECT_FLOAT_EQ(v[3], 0.f);
   EXPECT_NEAR(v[1] + v[2], 1.f, 1e-6);
   EXPECT_GT(v[2], v[1]);
+}
+
+TEST(MaskedSoftmaxTest, AllNegInfMaskedRowIsStructuredError) {
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> v = {-inf, -inf, -inf};
+  std::vector<uint8_t> mask = {1, 1, 0};
+  Status st = TryMaskedSoftmaxInPlace(&v, mask);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(MaskedSoftmaxTest, EmptyMaskIsStructuredError) {
+  std::vector<float> v = {1.f, 2.f};
+  std::vector<uint8_t> mask = {0, 0};
+  Status st = TryMaskedSoftmaxInPlace(&v, mask);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(MaskedSoftmaxTest, TryPathMatchesCheckedPathBitwise) {
+  Rng rng(101);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = 1 + static_cast<int>(rng.Next() % 9);
+    std::vector<float> logits(n);
+    std::vector<uint8_t> mask(n, 0);
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+      logits[i] = static_cast<float>(rng.Normal(0.0, 3.0));
+      mask[i] = static_cast<uint8_t>(rng.Next() % 2);
+      any = any || mask[i];
+    }
+    if (!any) mask[0] = 1;
+    std::vector<float> checked = logits;
+    std::vector<float> tried = logits;
+    MaskedSoftmaxInPlace(&checked, mask);
+    ASSERT_TRUE(TryMaskedSoftmaxInPlace(&tried, mask).ok());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(checked[i], tried[i]) << "iter " << iter << " entry " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- batched GEMM
+
+// Differential oracle for the blocked MatMat path: random ragged shapes,
+// every lane compared bitwise against a row-by-row MatVec over the same
+// vector. Any reassociation or contraction in the batched kernel fails
+// this with exact-equality diffs.
+TEST(MatMatTest, MatchesMatVecBitwiseAcrossRaggedShapes) {
+  Rng rng(4242);
+  const int batches[] = {1, 2, 3, 16, 17};
+  const int rows_set[] = {1, 3, 7, 29, 120};
+  const int cols_set[] = {1, 5, 13, 30, 61};
+  for (int batch : batches) {
+    for (int rows : rows_set) {
+      for (int cols : cols_set) {
+        Matrix w = Matrix::Randn(rows, cols, 1.f, &rng);
+        // Feature-major panel: x_panel[j * batch + b].
+        std::vector<float> x_panel(static_cast<size_t>(cols) * batch);
+        for (float& v : x_panel) v = static_cast<float>(rng.Normal(0.0, 2.0));
+        std::vector<float> y_panel(static_cast<size_t>(rows) * batch, -7.f);
+        MatMat(w, x_panel.data(), batch, y_panel.data());
+
+        std::vector<float> x(cols);
+        std::vector<float> y(rows);
+        for (int b = 0; b < batch; ++b) {
+          for (int j = 0; j < cols; ++j) x[j] = x_panel[j * batch + b];
+          MatVec(w, x.data(), y.data());
+          for (int i = 0; i < rows; ++i) {
+            ASSERT_EQ(y[i], y_panel[static_cast<size_t>(i) * batch + b])
+                << "B=" << batch << " r=" << rows << " c=" << cols
+                << " lane=" << b << " row=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MatMatTest, AccumMatchesMatVecAccumBitwise) {
+  Rng rng(777);
+  const int batches[] = {1, 2, 3, 16, 17};
+  for (int batch : batches) {
+    const int rows = 31, cols = 17;
+    Matrix w = Matrix::Randn(rows, cols, 1.f, &rng);
+    std::vector<float> x_panel(static_cast<size_t>(cols) * batch);
+    for (float& v : x_panel) v = static_cast<float>(rng.Normal(0.0, 1.0));
+    std::vector<float> y_panel(static_cast<size_t>(rows) * batch);
+    for (float& v : y_panel) v = static_cast<float>(rng.Normal(0.0, 1.0));
+    std::vector<float> y_ref_panel = y_panel;
+    MatMatAccum(w, x_panel.data(), batch, y_panel.data());
+
+    std::vector<float> x(cols);
+    std::vector<float> y(rows);
+    for (int b = 0; b < batch; ++b) {
+      for (int j = 0; j < cols; ++j) x[j] = x_panel[j * batch + b];
+      for (int i = 0; i < rows; ++i) {
+        y[i] = y_ref_panel[static_cast<size_t>(i) * batch + b];
+      }
+      MatVecAccum(w, x.data(), y.data());
+      for (int i = 0; i < rows; ++i) {
+        ASSERT_EQ(y[i], y_panel[static_cast<size_t>(i) * batch + b])
+            << "B=" << batch << " lane=" << b << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(LinearBatchTest, ForwardBatchMatchesForwardBitwise) {
+  Rng rng(55);
+  Linear lin(13, 9, &rng);
+  const int batch = 5;
+  std::vector<float> x_panel(13 * batch);
+  for (float& v : x_panel) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  std::vector<float> y_panel(9 * batch);
+  lin.ForwardBatch(x_panel.data(), batch, y_panel.data());
+  std::vector<float> x(13);
+  std::vector<float> y(9);
+  for (int b = 0; b < batch; ++b) {
+    for (int j = 0; j < 13; ++j) x[j] = x_panel[j * batch + b];
+    lin.Forward(x.data(), y.data());
+    for (int i = 0; i < 9; ++i) {
+      ASSERT_EQ(y[i], y_panel[static_cast<size_t>(i) * batch + b]);
+    }
+  }
+}
+
+TEST(LstmStackBatchTest, StepBatchMatchesSequentialStepsBitwise) {
+  Rng rng(91);
+  const int vocab = 11, hid = 6, layers = 2;
+  LstmStack stack(vocab, hid, layers, /*dropout=*/0.3f, &rng);
+  Rng dummy(0);
+  const int batch = 5;
+  const int steps = 12;
+  Rng tok_rng(2026);
+
+  // Sequential reference: each lane advanced alone through Step().
+  std::vector<LstmStack::State> seq(batch, stack.InitialState());
+  // Batched: same initial states through StepBatch().
+  std::vector<LstmStack::State> bat(batch, stack.InitialState());
+  std::vector<LstmStack::State*> bat_ptrs(batch);
+  for (int b = 0; b < batch; ++b) bat_ptrs[b] = &bat[b];
+
+  std::vector<int> tokens(batch);
+  std::vector<float> top_panel;
+  for (int t = 0; t < steps; ++t) {
+    for (int b = 0; b < batch; ++b) {
+      tokens[b] = static_cast<int>(tok_rng.Next() % vocab);
+    }
+    std::vector<std::vector<float>> seq_top(batch);
+    for (int b = 0; b < batch; ++b) {
+      seq_top[b] = stack.Step(tokens[b], &seq[b], nullptr, false, &dummy);
+    }
+    stack.StepBatch(tokens.data(), bat_ptrs.data(), batch, &top_panel);
+    for (int b = 0; b < batch; ++b) {
+      for (int l = 0; l < layers; ++l) {
+        for (int k = 0; k < hid; ++k) {
+          ASSERT_EQ(seq[b].h[l][k], bat[b].h[l][k])
+              << "t=" << t << " lane=" << b << " layer=" << l;
+          ASSERT_EQ(seq[b].c[l][k], bat[b].c[l][k])
+              << "t=" << t << " lane=" << b << " layer=" << l;
+        }
+      }
+      for (int k = 0; k < hid; ++k) {
+        ASSERT_EQ(seq_top[b][k], top_panel[static_cast<size_t>(k) * batch + b]);
+      }
+    }
+  }
 }
 
 TEST(ClipGradNormTest, RescalesAboveThreshold) {

@@ -6,10 +6,13 @@
 
 #include <atomic>
 #include <filesystem>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/sync.h"
+#include "obs/metrics_registry.h"
 #include "service/bounded_queue.h"
 #include "service/constraint_key.h"
 #include "service/generation_service.h"
@@ -488,6 +491,65 @@ TEST_F(ServiceTest, ConcurrencyOneRunsAreReproducible) {
   };
   // Same seed, same request order, one worker: byte-identical output.
   EXPECT_EQ(run_once(), run_once());
+}
+
+// The batching bugfix's contract: a request's output is a function of
+// (seed, request) alone. The same request set must yield byte-identical
+// SQL per request id across every (num_workers, max_batch) combination —
+// worker placement, queue interleaving and batch composition all change
+// between configs, none may leak into the samples.
+TEST_F(ServiceTest, OutputsIndependentOfWorkerCountAndBatching) {
+  // Two buckets so groups form and split; same-bucket mates coalesce.
+  auto run_config = [&](int workers, int max_batch) {
+    auto opts = ServiceOptions(workers);
+    opts.max_batch = max_batch;
+    auto service = GenerationService::Create(&db_, opts);
+    EXPECT_TRUE(service.ok());
+    std::vector<std::future<GenerationResponse>> futures;
+    for (uint64_t id = 1; id <= 6; ++id) {
+      GenerationRequest req;
+      req.constraint = id % 2 == 0 ? CardRange(5, 50) : CardPoint(10);
+      req.n = 2;
+      req.batch = true;
+      req.id = id;
+      futures.push_back((*service)->Submit(std::move(req)));
+    }
+    std::map<uint64_t, std::vector<std::string>> by_id;
+    for (auto& f : futures) {
+      GenerationResponse r = f.get();
+      EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+      for (const GeneratedQuery& q : r.report.queries) {
+        by_id[r.id].push_back(q.sql);
+      }
+    }
+    return by_id;
+  };
+  const auto baseline = run_config(1, 1);  // unbatched, single worker
+  EXPECT_EQ(baseline, run_config(1, 8));   // batching on
+  EXPECT_EQ(baseline, run_config(4, 1));   // worker placement varies
+  EXPECT_EQ(baseline, run_config(4, 8));   // both at once
+}
+
+// Workers record the mean decode width of every ragged batch they run in
+// the service.batch_size histogram (next to queue_wait_ns for the p99).
+TEST_F(ServiceTest, BatchSizeHistogramRecordsGroups) {
+  obs::MetricsRegistry registry;
+  auto opts = ServiceOptions(1);
+  opts.max_batch = 8;
+  opts.metrics_registry = &registry;
+  auto service = GenerationService::Create(&db_, opts);
+  ASSERT_TRUE(service.ok());
+  GenerationRequest req;
+  req.constraint = CardRange(5, 50);
+  req.n = 1;
+  req.batch = true;
+  ASSERT_TRUE((*service)->SubmitAndWait(req).status.ok());
+  (*service)->Shutdown();
+  const obs::HistogramStats stats =
+      registry.GetHistogram("service.batch_size").Snapshot();
+  ASSERT_GE(stats.count, 1u);
+  EXPECT_GE(stats.sum, static_cast<double>(stats.count));  // sizes >= 1
+  EXPECT_GE(registry.GetHistogram("service.queue_wait_ns").count(), 1u);
 }
 
 }  // namespace

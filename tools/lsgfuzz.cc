@@ -46,8 +46,10 @@ void Usage() {
       "  --no-shrink      keep failing traces unminimized\n"
       "  --max-failures N stop a dataset after N failures (default 16)\n"
       "  --verbose        log every failure as it is found\n"
-      "  --oracle NAME    all|vexec (default all). vexec runs only the\n"
-      "                   vectorized-vs-reference lockstep check\n"
+      "  --oracle NAME    all|vexec|batch-decode (default all). vexec runs\n"
+      "                   only the vectorized-vs-reference lockstep check;\n"
+      "                   batch-decode only the batched-vs-scalar decode\n"
+      "                   equivalence check\n"
       "  --inject-bug K   card-off-by-one|render-space|mask-bit|\n"
       "                   transition-swap|hash-collision|\n"
       "                   sel-vector-off-by-one (mutation-tests the\n"
@@ -134,6 +136,19 @@ int main(int argc, char** argv) {
     oracle.check_prefix_estimates = false;
     oracle.check_compiled_fsm = false;
     oracle.check_vexec = true;
+    oracle.check_batch_decode = false;
+  } else if (oracle_mode == "batch-decode") {
+    // Focused serving-equivalence mode: only the batched-vs-scalar decode
+    // check runs (sampled once per 8 episodes, like the full stack).
+    oracle.check_lint = false;
+    oracle.check_reference = false;
+    oracle.check_roundtrip = false;
+    oracle.check_estimator = false;
+    oracle.check_dml_apply = false;
+    oracle.check_prefix_estimates = false;
+    oracle.check_compiled_fsm = false;
+    oracle.check_vexec = false;
+    oracle.check_batch_decode = true;
   } else if (oracle_mode != "all") {
     return FailUsage("unknown --oracle name");
   }

@@ -73,6 +73,8 @@ void Usage() {
       "options:\n"
       "  --requests PATH  request file (default: read stdin)\n"
       "  --workers W      worker threads (default 4)\n"
+      "  --max-batch B    in-flight requests a worker may decode together\n"
+      "                   (default 8; 1 disables cross-request batching)\n"
       "  --queue Q        request queue capacity (default 64)\n"
       "  --cache C        resident model cap before LRU spill (default 8)\n"
       "  --model-dir DIR  spill/warm-start directory (default: no spill)\n"
@@ -129,7 +131,7 @@ int main(int argc, char** argv) {
   using namespace lsg;
 
   std::string dataset, requests_path, model_dir;
-  int workers = 4, default_n = 5, epochs = 150;
+  int workers = 4, max_batch = 8, default_n = 5, epochs = 150;
   size_t queue_capacity = 64, cache_capacity = 8;
   double scale = 1.0;
   uint64_t seed = 2024;
@@ -153,6 +155,8 @@ int main(int argc, char** argv) {
       requests_path = need_value(i++);
     } else if (a == "--workers") {
       workers = std::atoi(need_value(i++));
+    } else if (a == "--max-batch") {
+      max_batch = std::atoi(need_value(i++));
     } else if (a == "--queue") {
       queue_capacity = static_cast<size_t>(std::atoi(need_value(i++)));
     } else if (a == "--cache") {
@@ -224,6 +228,7 @@ int main(int argc, char** argv) {
 
   GenerationServiceOptions opts;
   opts.num_workers = workers;
+  opts.max_batch = max_batch;
   opts.queue_capacity = queue_capacity;
   opts.registry.capacity = cache_capacity;
   opts.registry.spill_dir = model_dir;
@@ -238,9 +243,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "serving %s (%zu tables, %zu rows) with %d workers, "
-               "queue %zu, cache %zu, %zu requests\n",
+               "max-batch %d, queue %zu, cache %zu, %zu requests\n",
                dataset.c_str(), db.num_tables(), db.TotalRows(), workers,
-               queue_capacity, cache_capacity, batch.size());
+               max_batch, queue_capacity, cache_capacity, batch.size());
 
   InstallDrainHandlers();
   Stopwatch wall;
